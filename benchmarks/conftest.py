@@ -1,0 +1,6 @@
+"""Pytest configuration for the benchmark harness."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,114 @@
+"""Shared infrastructure for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down workload size (see EXPERIMENTS.md for the scaling rationale)
+and prints the same rows/series the paper plots.  Simulation results are
+memoized per (model, workload, variant) within the pytest session, since
+several figures share the same sweep (Figs. 7, 9 and 10 all come from the
+YCSB scope-count sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.models import ConsistencyModel
+from repro.sim.config import SystemConfig
+from repro.system.simulation import SimulationResult, run_workload
+from repro.workloads.tpch import TpchWorkload
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+#: Model order used in every figure.
+ALL_MODELS = [
+    ConsistencyModel.NAIVE,
+    ConsistencyModel.SW_FLUSH,
+    ConsistencyModel.ATOMIC,
+    ConsistencyModel.STORE,
+    ConsistencyModel.SCOPE,
+    ConsistencyModel.SCOPE_RELAXED,
+]
+
+PROPOSED_MODELS = [m for m in ALL_MODELS if m.is_proposed]
+
+#: YCSB sweep: scaled scope counts standing in for the paper's 4..977.
+SCOPE_SWEEP = [4, 8, 16, 32, 48]
+
+#: Records per scope in the scaled configuration.
+RECORDS_PER_SWEEP_SCOPE = 2000
+
+#: Operations per YCSB run (the paper uses 1000; scaled for wall-clock).
+YCSB_OPS = 30
+
+_cache: Dict[Tuple, SimulationResult] = {}
+
+
+def ycsb_params(num_scopes: int, threads: int = 4) -> YcsbParams:
+    return YcsbParams(
+        num_records=num_scopes * RECORDS_PER_SWEEP_SCOPE,
+        num_ops=YCSB_OPS,
+        threads=threads,
+        seed=7,
+    )
+
+
+def run_ycsb(
+    model: ConsistencyModel,
+    num_scopes: int,
+    variant: str = "base",
+    config_fn: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+    threads: int = 4,
+) -> SimulationResult:
+    """One memoized YCSB simulation point."""
+    key = ("ycsb", model, num_scopes, variant, threads)
+    if key not in _cache:
+        cfg = SystemConfig.scaled_default(model=model, num_scopes=num_scopes)
+        if threads != 4:
+            from dataclasses import replace
+            cfg = replace(cfg, cores=replace(cfg.cores, num_cores=2 * threads))
+        if config_fn is not None:
+            cfg = config_fn(cfg)
+        workload = YcsbWorkload(ycsb_params(num_scopes, threads))
+        _cache[key] = run_workload(cfg, workload, max_events=200_000_000)
+    return _cache[key]
+
+
+def run_tpch(model: ConsistencyModel, query: str,
+             scale: float = 1 / 64, runs: int = 2) -> SimulationResult:
+    """One memoized TPC-H query simulation."""
+    key = ("tpch", model, query, scale, runs)
+    if key not in _cache:
+        workload = TpchWorkload(query, scale=scale, runs=runs)
+        cfg = SystemConfig.scaled_default(
+            model=model, num_scopes=workload.scaled_scopes())
+        _cache[key] = run_workload(cfg, workload, max_events=200_000_000)
+    return _cache[key]
+
+
+def ycsb_sweep(models: List[ConsistencyModel], variant: str = "base",
+               config_fn=None, threads: int = 4,
+               scopes: Optional[List[int]] = None) -> Dict[str, List[SimulationResult]]:
+    scopes = scopes or SCOPE_SWEEP
+    return {
+        model.value: [run_ycsb(model, n, variant, config_fn, threads)
+                      for n in scopes]
+        for model in models
+    }
+
+
+def normalized(results: Dict[str, List[SimulationResult]],
+               baseline: str = "naive") -> Dict[str, List[float]]:
+    """Run times normalized to the baseline series (the paper's y-axis)."""
+    base = [r.run_time for r in results[baseline]]
+    return {
+        name: [r.run_time / b for r, b in zip(series, base)]
+        for name, series in results.items()
+    }
+
+
+def once(benchmark, fn):
+    """Run a whole-figure regeneration exactly once under pytest-benchmark.
+
+    Simulations are deterministic and expensive; statistical repetition
+    adds nothing.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Fig. 7: YCSB run time across the consistency models.
+
+(a) absolute run time, (b) normalized to the Naive baseline.  The paper's
+shape: all four proposed models stay within a few percent of Naive
+(at most ~6% overhead at low scope counts), improve relative to Naive as
+the scope count grows and the PIM module's buffer back-pressure throttles
+everyone, and the scope model -- which interleaves PIM ops from different
+scopes -- is the best performer at high scope counts.
+"""
+
+from harness import ALL_MODELS, SCOPE_SWEEP, normalized, once, ycsb_sweep
+
+from repro.analysis.report import format_series
+from repro.core.models import ConsistencyModel
+
+
+def test_fig7_ycsb_run_time(benchmark):
+    results = once(benchmark, lambda: ycsb_sweep(ALL_MODELS))
+    absolute = {name: [r.run_time for r in series]
+                for name, series in results.items()}
+    rel = normalized(results)
+    print()
+    print(format_series("scopes", SCOPE_SWEEP, absolute,
+                        title="Fig. 7a: absolute run time [cycles]"))
+    print()
+    print(format_series("scopes", SCOPE_SWEEP, rel,
+                        title="Fig. 7b: run time normalized to Naive"))
+
+    # (1) correctness never costs more than a bounded overhead
+    for model in ("atomic", "store", "scope", "scope-relaxed"):
+        assert max(rel[model]) < 1.30, model
+    # (2) at the top of the sweep, the models match or beat Naive
+    top = -1
+    for model in ("atomic", "store", "scope"):
+        assert rel[model][top] <= 1.05, (model, rel[model])
+    # (3) the scope model is the best proposed model at high scope count
+    proposed_at_top = {m: rel[m][top]
+                       for m in ("atomic", "store", "scope", "scope-relaxed")}
+    assert min(proposed_at_top, key=proposed_at_top.get) == "scope"
+    # (4) absolute run time grows with the data set
+    for series in absolute.values():
+        assert series[-1] > series[0]
+    # (5) the proposed models stay correct throughout; naive does not
+    for model in ("atomic", "store", "scope", "scope-relaxed"):
+        assert all(r.stale_reads == 0 for r in results[model]), model
+    assert any(r.stale_reads > 0 for r in results["naive"])

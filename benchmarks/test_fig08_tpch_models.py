@@ -1,0 +1,60 @@
+"""Fig. 8: TPC-H query run time per consistency model, normalized to Naive.
+
+The paper's shape: most queries show little difference between models;
+where a difference is visible (queries with substantial PIM sections:
+q1, q2, q6, q12, q19) the scope model leads, and the geometric mean over
+all queries stays within a few percent of Naive for every model.
+"""
+
+import math
+
+from harness import ALL_MODELS, once, run_tpch
+
+from repro.analysis.report import format_table
+from repro.workloads.tpch import TPCH_QUERIES
+
+QUERIES = list(TPCH_QUERIES)
+
+
+def test_fig8_tpch_normalized_run_time(benchmark):
+    def sweep():
+        table = {}
+        for query in QUERIES:
+            naive = run_tpch(ALL_MODELS[0], query).run_time
+            table[query] = {
+                m.value: run_tpch(m, query).run_time / naive
+                for m in ALL_MODELS
+            }
+        return table
+
+    table = once(benchmark, sweep)
+    names = [m.value for m in ALL_MODELS]
+    rows = [[q] + [table[q][n] for n in names] for q in QUERIES]
+    geo = ["Geo.Mean"] + [
+        math.exp(sum(math.log(table[q][n]) for q in QUERIES) / len(QUERIES))
+        for n in names
+    ]
+    print()
+    print(format_table(["query"] + names, rows + [geo],
+                       title="Fig. 8: TPC-H run time normalized to Naive"))
+
+    geo_by_name = dict(zip(names, geo[1:]))
+    # Geomean band.  The paper reports within ~6%; the miniature's fixed
+    # network/ACK latencies loom large on the tiny-scope queries (q11 has
+    # 4 scopes even at paper scale) and widen the band -- EXPERIMENTS.md.
+    for name in ("atomic", "store", "scope", "scope-relaxed"):
+        assert geo_by_name[name] < 1.40, (name, geo_by_name[name])
+    # the scope model's geomean leads the proposed models (paper: where
+    # differences are visible, the scope model has the best run time)
+    assert geo_by_name["scope"] == min(
+        geo_by_name[n] for n in ("atomic", "store", "scope", "scope-relaxed"))
+    # the queries the paper singles out as having substantial PIM
+    # sections show the visible difference, in the scope model's favour
+    for query in ("q1", "q6", "q12", "q19"):
+        assert table[query]["scope"] < table[query]["atomic"], query
+        assert table[query]["scope"] < 1.0, query
+    # and on the remaining large-scope filter queries the models track
+    # naive closely (paper: "little run time difference on most queries")
+    for query in ("q3", "q4", "q7", "q10", "q21"):
+        for name in ("atomic", "store", "scope"):
+            assert abs(table[query][name] - 1.0) < 0.2, (query, name)

@@ -1,0 +1,57 @@
+"""Fig. 10: system statistics for the YCSB sweep.
+
+(a) mean PIM-module buffer length at op arrival -- fills up as the scope
+    count grows (back-pressure regime);
+(b) mean unique scopes in the buffer -- highest for the scope model,
+    whose non-FIFO write buffer interleaves scopes;
+(c) mean LLC scan latency -- far below the number of LLC sets thanks to
+    the scope buffer (hits count as zero) and the SBV;
+(d) mean SBV skipped-set ratio -- the scan visits only a small subset of
+    sets.
+"""
+
+from harness import ALL_MODELS, PROPOSED_MODELS, SCOPE_SWEEP, once, ycsb_sweep
+
+from repro.analysis.report import format_series
+from repro.sim.config import SystemConfig
+
+
+def test_fig10_system_statistics(benchmark):
+    results = once(benchmark, lambda: ycsb_sweep(ALL_MODELS))
+
+    buffer_len = {n: [r.pim_buffer_mean_len for r in s]
+                  for n, s in results.items()}
+    unique = {n: [r.pim_unique_scopes for r in s] for n, s in results.items()}
+    scan = {n: [r.llc_scan_latency for r in s]
+            for n, s in results.items() if n not in ("naive", "sw-flush")}
+    skip = {n: [r.sbv_skip_ratio for r in s]
+            for n, s in results.items() if n not in ("naive", "sw-flush")}
+
+    print()
+    print(format_series("scopes", SCOPE_SWEEP, buffer_len,
+                        title="Fig. 10a: mean PIM buffer length at arrival"))
+    print()
+    print(format_series("scopes", SCOPE_SWEEP, unique,
+                        title="Fig. 10b: mean unique scopes in PIM buffer"))
+    print()
+    print(format_series("scopes", SCOPE_SWEEP, scan,
+                        title="Fig. 10c: mean LLC scan latency [cycles]"))
+    print()
+    print(format_series("scopes", SCOPE_SWEEP, skip,
+                        title="Fig. 10d: mean SBV skipped-set ratio"))
+
+    cap = SystemConfig.scaled_default().pim.buffer_capacity
+    # (a) the buffer saturates at high scope counts for the unthrottled
+    # baselines (paper: naive fills the buffer first)
+    assert buffer_len["naive"][-1] > 0.6 * cap
+    # (b) the scope model keeps the most unique scopes in the buffer
+    top = -1
+    assert unique["scope"][top] >= max(
+        unique[m.value][top] for m in PROPOSED_MODELS) - 1e-9
+    # (c) scans are far cheaper than the full set count (paper: ~38 of 2048)
+    num_sets = SystemConfig.scaled_default().llc.num_sets
+    for name, series in scan.items():
+        assert all(s < num_sets / 4 for s in series), name
+    # (d) the SBV skips the vast majority of sets (paper: ~94%)
+    for name, series in skip.items():
+        assert all(s > 0.85 for s in series), name

@@ -1,0 +1,36 @@
+"""Fig. 13: eight worker threads on a 16-core host.
+
+More threads load the memory subsystem harder, so the differences
+between the models (and against Naive) widen, with the same ordering as
+the four-thread sweep.
+"""
+
+from harness import ALL_MODELS, normalized, once, ycsb_sweep
+
+from repro.analysis.report import format_series
+
+SCOPES = [8, 16, 32, 64]  # scaled up: similar scopes-per-thread as Fig. 7
+
+
+def test_fig13_eight_threads(benchmark):
+    def sweep():
+        return ycsb_sweep(ALL_MODELS, variant="8t", threads=8, scopes=SCOPES)
+
+    results = once(benchmark, sweep)
+    rel = normalized(results)
+    print()
+    print(format_series("scopes", SCOPES, rel,
+                        title="Fig. 13: 8 threads / 16 cores "
+                              "(normalized to Naive)"))
+
+    top = -1
+    # same trends as with 4 threads: the proposed models track naive,
+    # with the scope model in front at high scope counts
+    for model in ("atomic", "store", "scope", "scope-relaxed"):
+        assert rel[model][top] < 1.3, model
+    proposed = {m: rel[m][top]
+                for m in ("atomic", "store", "scope", "scope-relaxed")}
+    assert min(proposed, key=proposed.get) == "scope"
+    # correctness still holds with more threads
+    for model in ("atomic", "store", "scope", "scope-relaxed"):
+        assert all(r.stale_reads == 0 for r in results[model]), model

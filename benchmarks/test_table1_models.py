@@ -1,0 +1,21 @@
+"""Table I: consistency model definitions and implementations."""
+
+from harness import once
+
+from repro.analysis.report import format_table
+from repro.core.models import ConsistencyModel, properties_of
+
+
+def test_table1_model_definitions(benchmark):
+    def build():
+        rows = [properties_of(m).table_row()
+                for m in ConsistencyModel if m.is_proposed]
+        return rows
+
+    rows = once(benchmark, build)
+    print()
+    print(format_table(list(rows[0].keys()), [list(r.values()) for r in rows],
+                       title="Table I: consistency model definitions"))
+    assert [r["Model"] for r in rows] == ["atomic", "store", "scope",
+                                          "scope-relaxed"]
+    assert rows[3]["Scope Buffer & SBV"] == "All caches"

@@ -1,0 +1,30 @@
+"""Table II: the evaluated system configuration."""
+
+from harness import once
+
+from repro.analysis.report import format_table
+from repro.sim.config import SystemConfig
+
+
+def test_table2_system_configuration(benchmark):
+    cfg = once(benchmark, SystemConfig.paper_default)
+    rows = [
+        ["Processor cores", f"{cfg.cores.num_cores} cores, OoO, "
+                            f"{cfg.cores.freq_ghz} GHz"],
+        ["L1 cache", f"private, {cfg.l1.size_bytes >> 10} KB, "
+                     f"{cfg.l1.line_bytes} B lines, {cfg.l1.ways}-way"],
+        ["L2 (LLC)", f"shared, {cfg.llc.size_bytes >> 20} MB, "
+                     f"{cfg.llc.line_bytes} B lines, {cfg.llc.ways}-way"],
+        ["L1 scope buffer", f"{cfg.l1_scope_buffer.sets} sets, "
+                            f"{cfg.l1_scope_buffer.ways}-way"],
+        ["L2 scope buffer", f"{cfg.llc_scope_buffer.sets} sets, "
+                            f"{cfg.llc_scope_buffer.ways}-way"],
+        ["Scope", f"{cfg.scope_bytes >> 20} MB huge page"],
+        ["Max records per scope", f"{cfg.records_per_scope >> 10}K"],
+        ["Coherency protocol", "MESI (directory at the inclusive LLC)"],
+    ]
+    print()
+    print(format_table(["Parameter", "Value"], rows,
+                       title="Table II: system configuration"))
+    assert cfg.llc.num_sets == 2048
+    assert cfg.records_per_scope == 32 << 10

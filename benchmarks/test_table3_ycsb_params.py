@@ -1,0 +1,33 @@
+"""Table III: YCSB workload parameters."""
+
+from harness import once
+
+from repro.analysis.report import format_table
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+
+def test_table3_ycsb_workload(benchmark):
+    params = YcsbParams(num_records=32_000, num_ops=1000, seed=7)
+
+    def build():
+        return YcsbWorkload(params).operations()
+
+    ops = once(benchmark, build)
+    scans = sum(1 for o in ops if o[0] == "scan")
+    inserts = len(ops) - scans
+    lengths = [op[2] - op[1] for op in ops if op[0] == "scan"]
+    rows = [
+        ["Number of operations", len(ops)],
+        ["Scan operation percentage", f"{100 * scans / len(ops):.1f}%"],
+        ["Insert operation percentage", f"{100 * inserts / len(ops):.1f}%"],
+        ["Fields per record", params.num_fields],
+        ["Field length", f"{params.field_bytes} B"],
+        ["Records in scan results", f"uniform, observed 1..{max(lengths)}"],
+        ["Scan base record", "Zipfian"],
+    ]
+    print()
+    print(format_table(["Parameter", "Value"], rows,
+                       title="Table III: YCSB workload"))
+    assert len(ops) == 1000
+    assert 0.92 < scans / len(ops) < 0.98
+    assert max(lengths) <= params.max_scan_records

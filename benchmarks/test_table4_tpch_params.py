@@ -1,0 +1,22 @@
+"""Table IV: TPC-H query summary."""
+
+from harness import once
+
+from repro.analysis.report import format_table
+from repro.workloads.tpch import TPCH_QUERIES
+
+
+def test_table4_tpch_queries(benchmark):
+    rows = once(benchmark, lambda: [
+        [q, spec.scopes, spec.section]
+        for q, spec in TPCH_QUERIES.items()
+    ])
+    print()
+    print(format_table(["Query", "# Scopes", "PIM section"], rows,
+                       title="Table IV: TPC-H query summary"))
+    assert len(rows) == 19
+    assert ["q9"] not in [[r[0]] for r in rows]
+    by_name = {r[0]: r for r in rows}
+    assert by_name["q1"][1] == 1832 and by_name["q1"][2] == "Full-query"
+    assert by_name["q3"][1] == 2336
+    assert by_name["q22"][2] == "Full sub-query"

@@ -1,0 +1,11 @@
+"""Thin setup.py shim so legacy editable installs work offline.
+
+The environment has no network and no ``wheel`` package, so PEP-660
+editable installs (which build a wheel) are unavailable;
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this file.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Reproduction of "On Consistency for Bulk-Bitwise Processing-in-Memory".
+
+Perach, Ronen & Kvatinsky, HPCA 2023 (arXiv:2211.07542).
+
+Package map:
+
+* :mod:`repro.core` -- the paper's contribution: the four consistency
+  models, scopes, ordering theory, and the Fig. 1 litmus checker.
+* :mod:`repro.pim` -- the bulk-bitwise PIM substrate, functional (MAGIC
+  crossbars, microcode, database engine) and timing (the PIM module).
+* :mod:`repro.memory` -- caches, MESI, the scope buffer and SBV, the
+  memory controller.
+* :mod:`repro.host` -- cores and the per-model issue machinery.
+* :mod:`repro.sim` -- the discrete-event kernel and configuration.
+* :mod:`repro.workloads` -- YCSB and TPC-H generators.
+* :mod:`repro.system` -- system assembly and the run harness.
+* :mod:`repro.analysis` -- area model and report formatting.
+"""
+
+__version__ = "1.0.0"

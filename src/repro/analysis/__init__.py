@@ -1,0 +1,12 @@
+"""Reporting and hardware-cost analysis.
+
+* :mod:`repro.analysis.area` -- the scope-buffer/SBV area-overhead model
+  behind Section VI's 0.092% / 0.22% claims.
+* :mod:`repro.analysis.report` -- table/series formatting for the
+  benchmark harness (prints the rows the paper's figures plot).
+"""
+
+from repro.analysis.area import AreaModel, cache_storage_bits
+from repro.analysis.report import format_series, format_table
+
+__all__ = ["AreaModel", "cache_storage_bits", "format_series", "format_table"]

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: consistency models for bulk-bitwise PIM.
+
+* :mod:`repro.core.models` -- the four proposed consistency models (atomic,
+  store, scope, scope-relaxed) and the baselines (naive, SW-flush,
+  uncacheable), with their Table-I reordering rules.
+* :mod:`repro.core.scope` -- the fixed partition of PIM memory into scopes
+  (huge pages) and address mapping helpers.
+* :mod:`repro.core.memops` -- abstract memory-operation vocabulary shared by
+  the ordering theory, the litmus checker, and the timing simulator.
+* :mod:`repro.core.ordering` -- happens-before graphs and cycle detection.
+* :mod:`repro.core.litmus` -- an operational litmus-test executor that
+  reproduces the Fig. 1 correctness violation.
+"""
+
+from repro.core.models import ConsistencyModel, MODEL_PROPERTIES, ModelProperties
+from repro.core.scope import Scope, ScopeMap
+from repro.core.memops import MemOp, OpKind
+
+__all__ = [
+    "ConsistencyModel",
+    "MODEL_PROPERTIES",
+    "ModelProperties",
+    "Scope",
+    "ScopeMap",
+    "MemOp",
+    "OpKind",
+]

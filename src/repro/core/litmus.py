@@ -1,0 +1,266 @@
+"""Operational litmus-test executor for PIM coherency mechanisms.
+
+This is a small model checker over an abstract machine: threads executing
+program-order operation streams, one shared cache above a main memory, a
+bulk-bitwise PIM module operating on memory, and -- crucially -- a
+*nondeterministic prefetcher/other-thread* that may pull any interesting
+address into the cache at any step (Fig. 1, step 5).  All interleavings
+are enumerated with DFS over machine states, and the set of reachable
+read-value outcomes is returned.
+
+Two PIM-op mechanisms are modelled:
+
+* ``flush_atomic=False`` -- the software-flush approach of [9, 25]: the
+  PIM op updates memory without touching the cache; coherency relies on
+  the program's explicit ``Flush`` operations.  The Fig. 1 outcome
+  (observing the PIM result on B, then the *pre-PIM* value of A) is
+  reachable, which yields a happens-before cycle.
+* ``flush_atomic=True`` -- the paper's mechanism (all four proposed
+  models): the PIM op atomically flushes its scope from the cache and
+  executes.  The bad outcome is unreachable.
+
+Programs use :class:`repro.core.memops.MemOp`; writes carry explicit
+values and the PIM op applies a per-address function to memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.memops import MemOp, OpKind
+
+#: A PIM computation: address -> (old value -> new value).
+PimFunction = Callable[[int, int], int]
+
+
+@dataclass(frozen=True)
+class LitmusProgram:
+    """Per-thread operation streams plus the PIM op semantics."""
+
+    threads: Tuple[Tuple[MemOp, ...], ...]
+    #: Addresses the nondeterministic prefetcher may touch.
+    prefetchable: FrozenSet[int]
+    #: Scope membership: the addresses a PIM op's scope covers.
+    scope_addresses: FrozenSet[int]
+    pim_function: PimFunction = field(default=lambda addr, v: v + 1)
+
+    @classmethod
+    def build(cls, threads: Sequence[Sequence[MemOp]],
+              scope_addresses: Iterable[int],
+              prefetchable: Optional[Iterable[int]] = None,
+              pim_function: Optional[PimFunction] = None) -> "LitmusProgram":
+        scope = frozenset(scope_addresses)
+        return cls(
+            threads=tuple(tuple(t) for t in threads),
+            prefetchable=frozenset(prefetchable if prefetchable is not None else scope),
+            scope_addresses=scope,
+            pim_function=pim_function or (lambda addr, v: v + 1),
+        )
+
+
+class _State:
+    """One abstract machine state (hashable for visited-set pruning)."""
+
+    __slots__ = ("pcs", "memory", "cache", "dirty", "reads", "prefetches")
+
+    def __init__(self, pcs, memory, cache, dirty, reads, prefetches):
+        self.pcs = pcs            # tuple of per-thread program counters
+        self.memory = memory      # tuple of (addr, value), sorted
+        self.cache = cache        # tuple of (addr, value), sorted
+        self.dirty = dirty        # frozenset of dirty cached addrs
+        self.reads = reads        # tuple of (thread, index, value)
+        self.prefetches = prefetches  # prefetch budget left
+
+    def key(self):
+        return (self.pcs, self.memory, self.cache, self.dirty,
+                self.reads, self.prefetches)
+
+
+class LitmusExecutor:
+    """Enumerates all executions of a litmus program.
+
+    Args:
+        flush_atomic: whether PIM ops atomically flush their scope from
+            the cache before executing (the paper's mechanism) or leave
+            the cache untouched (the software-flush approach).
+        prefetch_budget: bound on spontaneous cache fills per execution
+            (keeps the state space finite; 2 suffices for Fig. 1).
+    """
+
+    def __init__(self, program: LitmusProgram, flush_atomic: bool,
+                 prefetch_budget: int = 2) -> None:
+        self.program = program
+        self.flush_atomic = flush_atomic
+        self.prefetch_budget = prefetch_budget
+
+    # ------------------------------------------------------------------ #
+
+    def outcomes(self) -> Set[Tuple[Tuple[int, int, int], ...]]:
+        """All reachable read outcomes.
+
+        Each outcome is a sorted tuple of ``(thread, op_index, value)``
+        for every LOAD in the program.
+        """
+        initial = _State(
+            pcs=tuple(0 for _ in self.program.threads),
+            memory=(),
+            cache=(),
+            dirty=frozenset(),
+            reads=(),
+            prefetches=self.prefetch_budget,
+        )
+        results: Set[Tuple[Tuple[int, int, int], ...]] = set()
+        visited: Set = set()
+        stack = [initial]
+        while stack:
+            state = stack.pop()
+            key = state.key()
+            if key in visited:
+                continue
+            visited.add(key)
+            successors = list(self._successors(state))
+            if not successors:
+                results.add(tuple(sorted(state.reads)))
+                continue
+            stack.extend(successors)
+        return results
+
+    def reachable(self, predicate: Callable[[Dict[Tuple[int, int], int]], bool]) -> bool:
+        """Is any outcome satisfying ``predicate`` reachable?
+
+        ``predicate`` receives ``{(thread, op_index): value}``.
+        """
+        for outcome in self.outcomes():
+            if predicate({(t, i): v for t, i, v in outcome}):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def _successors(self, state: _State):
+        # Thread steps.
+        for tid, pc in enumerate(state.pcs):
+            thread = self.program.threads[tid]
+            if pc < len(thread):
+                yield self._step_thread(state, tid, thread[pc])
+        # Spontaneous prefetch (another thread / hardware prefetcher
+        # pulling a line into the cache between any two steps).
+        if state.prefetches > 0:
+            cache = dict(state.cache)
+            for addr in sorted(self.program.prefetchable):
+                if addr not in cache:
+                    memory = dict(state.memory)
+                    new_cache = dict(cache)
+                    new_cache[addr] = memory.get(addr, 0)
+                    yield _State(
+                        state.pcs, state.memory, _freeze(new_cache),
+                        state.dirty, state.reads, state.prefetches - 1,
+                    )
+
+    def _step_thread(self, state: _State, tid: int, op: MemOp) -> _State:
+        memory = dict(state.memory)
+        cache = dict(state.cache)
+        dirty = set(state.dirty)
+        reads = state.reads
+        kind = op.kind
+        if kind is OpKind.STORE:
+            cache[op.address] = op.value
+            dirty.add(op.address)
+        elif kind is OpKind.LOAD:
+            if op.address in cache:
+                value = cache[op.address]
+            else:
+                value = memory.get(op.address, 0)
+                cache[op.address] = value  # loads allocate
+            reads = reads + ((tid, op.index, value),)
+        elif kind is OpKind.FLUSH:
+            if op.address in cache:
+                if op.address in dirty:
+                    memory[op.address] = cache[op.address]
+                    dirty.discard(op.address)
+                del cache[op.address]
+        elif kind is OpKind.PIM_OP:
+            if self.flush_atomic:
+                # The paper's mechanism: scope flush is atomic with the op.
+                for addr in self.program.scope_addresses:
+                    if addr in cache:
+                        if addr in dirty:
+                            memory[addr] = cache[addr]
+                            dirty.discard(addr)
+                        del cache[addr]
+            for addr in self.program.scope_addresses:
+                memory[addr] = self.program.pim_function(addr, memory.get(addr, 0))
+        elif kind.is_fence:
+            # Threads execute in program order in this abstract machine,
+            # so fences are ordering no-ops; they exist in programs for
+            # documentation and for the reordering-predicate tests.
+            pass
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"litmus cannot execute {kind}")
+        pcs = tuple(
+            pc + 1 if t == tid else pc for t, pc in enumerate(state.pcs)
+        )
+        return _State(pcs, _freeze(memory), _freeze(cache),
+                      frozenset(dirty), reads, state.prefetches)
+
+
+def _freeze(d: Dict[int, int]) -> Tuple[Tuple[int, int], ...]:
+    return tuple(sorted(d.items()))
+
+
+# ---------------------------------------------------------------------- #
+# The Fig. 1 litmus test
+# ---------------------------------------------------------------------- #
+
+A, B = 0x100, 0x140
+A0, B0, A1, B1 = 10, 20, 11, 21
+
+
+def fig1_program() -> LitmusProgram:
+    """The example of Fig. 1.
+
+    Thread 0 writes A and B (fenced), flushes both, and issues a PIM op
+    that bumps every scope address (A0 -> A1, B0 -> B1).  Thread 1 reads
+    B twice and then A.  The problematic outcome is
+    ``r(B)=B0, r(B)=B1, r(A)=A0``: thread 1 sees the PIM op's effect on
+    B but the *pre-PIM* value of A, closing the happens-before cycle.
+    """
+    t0 = [
+        MemOp(OpKind.STORE, 0, 0, address=A, value=A0),
+        MemOp(OpKind.MEM_FENCE, 0, 1),
+        MemOp(OpKind.STORE, 0, 2, address=B, value=B0),
+        MemOp(OpKind.MEM_FENCE, 0, 3),
+        MemOp(OpKind.FLUSH, 0, 4, address=A),
+        MemOp(OpKind.FLUSH, 0, 5, address=B),
+        MemOp(OpKind.MEM_FENCE, 0, 6),
+        MemOp(OpKind.PIM_OP, 0, 7, scope=0),
+    ]
+    t1 = [
+        MemOp(OpKind.LOAD, 1, 0, address=B),
+        MemOp(OpKind.LOAD, 1, 1, address=B),
+        MemOp(OpKind.LOAD, 1, 2, address=A),
+    ]
+    return LitmusProgram.build([t0, t1], scope_addresses=[A, B],
+                               pim_function=lambda addr, v: v + 1)
+
+
+def fig1_violation(outcome: Dict[Tuple[int, int], int]) -> bool:
+    """The cyclic-order observation of Section I."""
+    return (
+        outcome.get((1, 0)) == B0
+        and outcome.get((1, 1)) == B1
+        and outcome.get((1, 2)) == A0
+    )
+
+
+def fig1_violation_reachable(flush_atomic: bool) -> bool:
+    """Can the Fig. 1 correctness violation occur under a mechanism?
+
+    >>> fig1_violation_reachable(flush_atomic=False)
+    True
+    >>> fig1_violation_reachable(flush_atomic=True)
+    False
+    """
+    executor = LitmusExecutor(fig1_program(), flush_atomic=flush_atomic)
+    return executor.reachable(fig1_violation)

@@ -1,0 +1,85 @@
+"""Abstract memory-operation vocabulary.
+
+These classes describe memory operations *as ordering-theory objects* --
+independent of any timing model.  They are shared by:
+
+* :mod:`repro.core.models` -- the per-model reordering predicate (Table I),
+* :mod:`repro.core.ordering` -- happens-before graph construction,
+* :mod:`repro.core.litmus` -- the operational litmus executor.
+
+The timing simulator (:mod:`repro.host`, :mod:`repro.memory`) uses its own
+message types but mirrors the same kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class OpKind(enum.Enum):
+    """Kinds of memory operations visible to the consistency model."""
+
+    LOAD = "load"
+    STORE = "store"
+    PIM_OP = "pim_op"
+    MEM_FENCE = "mem_fence"
+    #: The dedicated PIM fence of Nag & Balasubramonian [21]; orders PIM ops
+    #: across scopes (used by the scope and scope-relaxed models).
+    PIM_FENCE = "pim_fence"
+    #: The paper's new scope-fence: orders PIM ops and memory operations
+    #: within a single scope (scope-relaxed model only).
+    SCOPE_FENCE = "scope_fence"
+    #: An explicit cache-line flush (clflush), used by the SW-Flush baseline.
+    FLUSH = "flush"
+
+    @property
+    def is_fence(self) -> bool:
+        return self in (OpKind.MEM_FENCE, OpKind.PIM_FENCE, OpKind.SCOPE_FENCE)
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self in (OpKind.LOAD, OpKind.STORE, OpKind.FLUSH)
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """A single abstract memory operation issued by a thread.
+
+    Attributes:
+        kind: the operation class.
+        thread: issuing thread id.
+        index: position in the thread's program order.
+        address: byte address for loads/stores/flushes (``None`` for fences
+            and PIM ops, which are scope-granular).
+        scope: scope id this operation falls in (``None`` for non-PIM
+            addresses and for fences without a scope).
+        value: value written (stores) or a tag for PIM-op results; used by
+            the litmus executor.
+    """
+
+    kind: OpKind
+    thread: int
+    index: int
+    address: Optional[int] = None
+    scope: Optional[int] = None
+    value: Optional[int] = None
+
+    def same_address(self, other: "MemOp") -> bool:
+        return (
+            self.address is not None
+            and other.address is not None
+            and self.address == other.address
+        )
+
+    def same_scope(self, other: "MemOp") -> bool:
+        return self.scope is not None and self.scope == other.scope
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        loc = ""
+        if self.address is not None:
+            loc = f"@{self.address:#x}"
+        elif self.scope is not None:
+            loc = f"@scope{self.scope}"
+        return f"T{self.thread}.{self.index}:{self.kind.value}{loc}"

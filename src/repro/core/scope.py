@@ -1,0 +1,91 @@
+"""Scopes: the fixed partition of PIM memory into PIM-op address ranges.
+
+Section III of the paper defines a *scope* as a fixed, architecturally
+defined address range; PIM ops are issued to exactly one scope and may only
+touch addresses within it.  The reference implementation (PIMDB [25]) uses
+huge pages as scopes -- Table II uses 2 MB huge pages holding up to 32 K
+database records each.
+
+:class:`ScopeMap` implements the address arithmetic: PIM memory starts at a
+base address and is divided into equal power-of-two-sized scopes.  Non-PIM
+(regular DRAM) addresses map to no scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Scope:
+    """One scope: an id plus its half-open address range ``[base, limit)``."""
+
+    scope_id: int
+    base: int
+    limit: int
+
+    @property
+    def size(self) -> int:
+        return self.limit - self.base
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+    def offset_of(self, address: int) -> int:
+        """Byte offset of ``address`` within the scope."""
+        if not self.contains(address):
+            raise ValueError(f"address {address:#x} outside scope {self.scope_id}")
+        return address - self.base
+
+
+class ScopeMap:
+    """Maps addresses to scopes.
+
+    >>> smap = ScopeMap(pim_base=1 << 32, scope_bytes=2 << 20, num_scopes=4)
+    >>> smap.scope_of(smap.scope(2).base + 100).scope_id
+    2
+    >>> smap.scope_of(0) is None
+    True
+    """
+
+    def __init__(self, pim_base: int, scope_bytes: int, num_scopes: int) -> None:
+        if scope_bytes <= 0 or scope_bytes & (scope_bytes - 1):
+            raise ValueError("scope_bytes must be a positive power of two")
+        if pim_base % scope_bytes:
+            raise ValueError("pim_base must be scope-aligned")
+        if num_scopes <= 0:
+            raise ValueError("need at least one scope")
+        self.pim_base = pim_base
+        self.scope_bytes = scope_bytes
+        self.num_scopes = num_scopes
+        self._shift = scope_bytes.bit_length() - 1
+
+    @property
+    def pim_limit(self) -> int:
+        return self.pim_base + self.num_scopes * self.scope_bytes
+
+    def scope(self, scope_id: int) -> Scope:
+        """The scope with a given id."""
+        if not 0 <= scope_id < self.num_scopes:
+            raise ValueError(f"scope id {scope_id} out of range")
+        base = self.pim_base + scope_id * self.scope_bytes
+        return Scope(scope_id, base, base + self.scope_bytes)
+
+    def scope_id_of(self, address: int) -> Optional[int]:
+        """Scope id containing ``address``, or ``None`` for non-PIM memory."""
+        if not self.pim_base <= address < self.pim_limit:
+            return None
+        return (address - self.pim_base) >> self._shift
+
+    def scope_of(self, address: int) -> Optional[Scope]:
+        sid = self.scope_id_of(address)
+        return None if sid is None else self.scope(sid)
+
+    def is_pim(self, address: int) -> bool:
+        """Whether ``address`` belongs to a PIM-enabled scope."""
+        return self.pim_base <= address < self.pim_limit
+
+    def scopes(self) -> Iterator[Scope]:
+        for sid in range(self.num_scopes):
+            yield self.scope(sid)

@@ -1,0 +1,334 @@
+"""Host cores.
+
+A core executes its :class:`~repro.host.program.ThreadProgram` in commit
+order: memory operations are handed to the entry point at commit, loads
+may overlap up to a memory-level-parallelism limit, and fences block
+until the relevant outstanding operations complete.  PIM ops follow the
+active consistency model:
+
+* **atomic** -- the core behaves as if the PIM op were wrapped in fences:
+  it quiesces, issues the op, and withholds commit until the MC's ACK
+  (Fig. 6a).
+* **store / scope** -- the op is issued and committed immediately; the
+  entry point does the holding (Fig. 6b).
+* **scope-relaxed / baselines** -- the op is issued and committed; nothing
+  waits (Fig. 6c).
+
+The core is also where stale reads are detected: each load op may carry
+the minimum version a correct execution must observe, and the response's
+observed version is checked against it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.host.entry_point import EntryPoint
+from repro.host.policies import IssuePolicy
+from repro.host.program import ThreadOp, ThreadOpKind, ThreadProgram
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message, MessageType
+from repro.sim.stats import StatGroup
+
+
+class Core(Component):
+    """One host core running one thread program."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        core_id: int,
+        policy: IssuePolicy,
+        entry_point: EntryPoint,
+        max_outstanding_loads: int = 8,
+        issue_interval: int = 1,
+        barrier_cb: Optional[Callable[["Core"], None]] = None,
+        stale_cb: Optional[Callable[["Core", Message], None]] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.core_id = core_id
+        self.policy = policy
+        self.entry_point = entry_point
+        entry_point.attach_core(self)
+        self.max_outstanding_loads = max_outstanding_loads
+        self.issue_interval = issue_interval
+        self.barrier_cb = barrier_cb
+        self.stale_cb = stale_cb
+        self.program: Optional[ThreadProgram] = None
+        self.pc = 0
+        self._exhausted = False
+        self.outstanding_loads = 0
+        self.outstanding_stores = 0
+        self.outstanding_flushes = 0
+        #: Outstanding loads/stores/flushes per scope (scope-model PIM
+        #: issue and scope-fence issue wait on their own scope only).
+        self.outstanding_by_scope: Dict[int, int] = {}
+        self._waiting_pim_ack = False
+        self._at_barrier = False
+        self._step_scheduled = False
+        self.stats = StatGroup(name)
+        self._stale_reads = self.stats.counter("stale_reads")
+        self._loads = self.stats.counter("loads")
+        self._stores = self.stats.counter("stores")
+        self._pim_ops = self.stats.counter("pim_ops")
+        self.finish_time: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> bool:
+        """Program exhausted *and* every outstanding operation completed.
+
+        A thread is only finished once its loads returned, its stores and
+        flushes were acknowledged and nothing is left in the entry point
+        -- otherwise run time would stop short of the memory system's
+        actual work.
+        """
+        return (
+            self._exhausted
+            and not self._at_barrier
+            and self.outstanding_loads == 0
+            and self.outstanding_stores == 0
+            and self.outstanding_flushes == 0
+            and not self._waiting_pim_ack
+            and self.entry_point.drained
+            and self.entry_point.pending_pim_acks == 0
+            and self.entry_point.pending_scope_fences == 0
+        )
+
+    def run_program(self, program: ThreadProgram) -> None:
+        self.program = program
+        self.pc = 0
+        self._exhausted = len(program) == 0
+        self._schedule_step(0)
+
+    def _schedule_step(self, delay: int = 0) -> None:
+        if not self._step_scheduled and not self._exhausted:
+            self._step_scheduled = True
+            self.sim.schedule(delay, self._step)
+
+    def _step(self) -> None:
+        self._step_scheduled = False
+        if self._exhausted or self._at_barrier or self._waiting_pim_ack:
+            return
+        op = self.program.ops[self.pc]
+        kind = op.kind
+        if kind is ThreadOpKind.COMPUTE:
+            self._advance()
+            # Schedule unconditionally (not via _schedule_step) so a
+            # trailing COMPUTE still advances the clock before `done`.
+            self._step_scheduled = True
+            self.sim.schedule(max(1, op.cycles), self._step)
+        elif kind is ThreadOpKind.LOAD:
+            self._issue_load(op)
+        elif kind is ThreadOpKind.STORE:
+            self._issue_simple(op, MessageType.STORE)
+        elif kind is ThreadOpKind.FLUSH:
+            self._issue_simple(op, MessageType.FLUSH)
+        elif kind is ThreadOpKind.PIM_OP:
+            self._issue_pim(op)
+        elif kind is ThreadOpKind.SCOPE_FENCE:
+            self._issue_scope_fence(op)
+        elif kind is ThreadOpKind.MEM_FENCE:
+            self._mem_fence()
+        elif kind is ThreadOpKind.PIM_FENCE:
+            self._pim_fence()
+        elif kind is ThreadOpKind.BARRIER:
+            # A barrier models the workload client finishing an operation
+            # (results consumed): the thread's outstanding accesses must
+            # have completed before it reports in.  PIM ACKs are not
+            # awaited -- execution may still be in flight in the module.
+            if not self._quiesced(include_pim=False):
+                return  # woken by response completions
+            self._advance()
+            self._at_barrier = True
+            if self.barrier_cb is not None:
+                self.barrier_cb(self)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"core cannot execute {kind}")
+
+    def _advance(self) -> None:
+        self.pc += 1
+        if self.pc >= len(self.program.ops):
+            self._exhausted = True
+            self.finish_time = self.sim.now
+
+    # -- issuing --------------------------------------------------------- #
+
+    def _issue_load(self, op: ThreadOp) -> None:
+        if self.outstanding_loads >= self.max_outstanding_loads:
+            return  # woken by a load completion
+        if op.uncacheable and not self._uncacheable_ready():
+            return  # UC accesses are strongly ordered (no overlap)
+        msg = Message(
+            MessageType.LOAD,
+            addr=op.addr,
+            scope=op.scope,
+            core=self.core_id,
+            reply_to=self,
+            uncacheable=op.uncacheable,
+            version=op.expect_version,
+        )
+        if not self.entry_point.offer(msg):
+            return  # woken by entry-point progress
+        self.outstanding_loads += 1
+        self._track_scope(op.scope, +1)
+        self._loads.add()
+        self._advance()
+        self._schedule_step(self.issue_interval)
+
+    def _track_scope(self, scope: Optional[int], delta: int) -> None:
+        if scope is None:
+            return
+        count = self.outstanding_by_scope.get(scope, 0) + delta
+        if count <= 0:
+            self.outstanding_by_scope.pop(scope, None)
+        else:
+            self.outstanding_by_scope[scope] = count
+
+    def _uncacheable_ready(self) -> bool:
+        """x86 UC semantics: uncacheable accesses are strongly ordered
+        and non-speculative -- no overlap with any outstanding access.
+        This serialization (not the raw miss latency) is the main cost
+        of the uncacheable coherency approach in Fig. 3."""
+        return not (self.outstanding_loads or self.outstanding_stores
+                    or self.outstanding_flushes)
+
+    def _issue_simple(self, op: ThreadOp, mtype: MessageType) -> None:
+        if op.uncacheable and not self._uncacheable_ready():
+            return  # woken by response completions
+        msg = Message(
+            mtype,
+            addr=op.addr,
+            scope=op.scope,
+            core=self.core_id,
+            reply_to=self,
+            uncacheable=op.uncacheable,
+        )
+        if not self.entry_point.offer(msg):
+            return
+        if mtype is MessageType.STORE:
+            self.outstanding_stores += 1
+            self._stores.add()
+        else:
+            self.outstanding_flushes += 1
+        self._track_scope(op.scope, +1)
+        self._advance()
+        self._schedule_step(self.issue_interval)
+
+    def _issue_pim(self, op: ThreadOp) -> None:
+        # Commit-order semantics: wait for whatever earlier operations
+        # this model forbids a PIM op to reorder with (see
+        # IssuePolicy.pim_waits_for); without this an in-flight fill can
+        # reinstall pre-PIM data after the op's flush -- the Fig. 1 race.
+        if not self._pim_issue_ready(op):
+            return
+        msg = Message(
+            MessageType.PIM_OP,
+            addr=op.addr,
+            scope=op.scope,
+            core=self.core_id,
+            reply_to=self if self.policy.blocks_commit else self.entry_point,
+        )
+        if not self.entry_point.offer(msg):
+            return
+        self._pim_ops.add()
+        if self.policy.blocks_commit:
+            # ...and no commit until the MC ACKs (Fig. 6a).
+            self._waiting_pim_ack = True
+        self._advance()
+        self._schedule_step(self.issue_interval)
+
+    def _pim_issue_ready(self, op: ThreadOp) -> bool:
+        waits = self.policy.pim_waits_for
+        if waits == "all":
+            return self._quiesced()
+        if waits == "all-memops":
+            return not (self.outstanding_loads or self.outstanding_stores
+                        or self.outstanding_flushes)
+        if waits == "same-scope":
+            return self.outstanding_by_scope.get(op.scope, 0) == 0
+        return True
+
+    def _issue_scope_fence(self, op: ThreadOp) -> None:
+        # The fence may not pass (or be passed by) same-scope operations
+        # in any path; in-flight fills to its scope must land first.
+        if self.outstanding_by_scope.get(op.scope, 0) != 0:
+            return  # woken by response completions
+        msg = Message(
+            MessageType.SCOPE_FENCE,
+            addr=op.addr,
+            scope=op.scope,
+            core=self.core_id,
+            reply_to=self.entry_point,
+        )
+        if not self.entry_point.offer(msg):
+            return
+        self._advance()
+        self._schedule_step(self.issue_interval)
+
+    def _mem_fence(self) -> None:
+        if not self._quiesced(include_pim=self.policy.mem_fence_waits_for_pim()):
+            return
+        self._advance()
+        self._schedule_step(self.issue_interval)
+
+    def _pim_fence(self) -> None:
+        ep = self.entry_point
+        pim_queued = any(
+            m.mtype in (MessageType.PIM_OP, MessageType.SCOPE_FENCE)
+            for m in ep._queue
+        )
+        if pim_queued or ep.pending_pim_acks > 0 or ep.pending_scope_fences > 0:
+            return  # woken by subsystem ACKs / entry-point progress
+        self._advance()
+        self._schedule_step(self.issue_interval)
+
+    def _quiesced(self, include_pim: bool = True) -> bool:
+        if (self.outstanding_loads or self.outstanding_stores
+                or self.outstanding_flushes or not self.entry_point.drained):
+            return False
+        if include_pim and self.entry_point.pending_pim_acks > 0:
+            return False
+        return True
+
+    # -- wake-ups --------------------------------------------------------- #
+
+    def receive_response(self, resp: Message) -> None:
+        mtype = resp.mtype
+        if mtype is MessageType.LOAD_RESP:
+            self.outstanding_loads -= 1
+            self._track_scope(resp.scope, -1)
+            expected = resp.req.version if resp.req is not None else 0
+            if expected and resp.version < expected:
+                self._stale_reads.add()
+                if self.stale_cb is not None:
+                    self.stale_cb(self, resp)
+        elif mtype is MessageType.STORE_ACK:
+            self.outstanding_stores -= 1
+            self._track_scope(resp.scope, -1)
+        elif mtype is MessageType.FLUSH_ACK:
+            self.outstanding_flushes -= 1
+            self._track_scope(resp.scope, -1)
+        elif mtype is MessageType.PIM_ACK:
+            # Atomic model: the op may now commit.
+            self._waiting_pim_ack = False
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"core got {mtype}")
+        self._schedule_step(0)
+
+    def on_entry_point_progress(self) -> None:
+        self._schedule_step(0)
+
+    def on_subsystem_ack(self, resp: Message) -> None:
+        self._schedule_step(0)
+
+    def release_barrier(self) -> None:
+        self._at_barrier = False
+        self._schedule_step(0)
+
+    @property
+    def stale_reads(self) -> int:
+        return self._stale_reads.value

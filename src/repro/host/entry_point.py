@@ -1,0 +1,205 @@
+"""The memory-subsystem entry point (the write buffer of Fig. 6b).
+
+Every memory operation a core commits enters the memory subsystem here.
+The entry point enforces the per-model ordering rules on PIM ops: it
+withholds the operations its :class:`~repro.host.policies.IssuePolicy`
+says must wait for a pending PIM-op ACK (store model: everything but
+other-scope loads; scope model: only same-scope operations -- a non-FIFO
+write buffer; scope-relaxed and the baselines: nothing), and it tracks
+scope-fence ACKs for the scope-relaxed model.
+
+Routing: loads/stores/flushes go to the core's L1 (or, uncacheable,
+straight onto the request network); PIM ops bypass the L1 except under
+scope-relaxed, where they traverse it (Fig. 6c); scope fences always
+traverse the L1 (they must scan it, Fig. 6d).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set
+
+from repro.host.policies import IssuePolicy
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message, MessageType
+from repro.sim.stats import StatGroup
+
+
+class EntryPoint(Component):
+    """Per-core entry point enforcing PIM-op ordering (Section V)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        core_id: int,
+        policy: IssuePolicy,
+        l1: Component,
+        req_net: Component,
+        depth: int = 16,
+    ) -> None:
+        super().__init__(sim, name)
+        self.core_id = core_id
+        self.policy = policy
+        self.l1 = l1
+        self.req_net = req_net
+        self.depth = depth
+        self._queue: deque = deque()
+        self._core = None  # set by the system builder (wake callback)
+        self._serving = False
+        #: scope -> count of forwarded, un-ACKed PIM ops.
+        self.pending_pim_scopes: Dict[int, int] = {}
+        #: PIM ops forwarded and not yet ACKed (all scopes).
+        self.pending_pim_acks = 0
+        #: scopes with an outstanding (un-ACKed) scope-fence.
+        self.fenced_scopes: Set[int] = set()
+        self.pending_scope_fences = 0
+        self.stats = StatGroup(name)
+        self._forwarded = self.stats.counter("ops_forwarded")
+
+    def attach_core(self, core) -> None:
+        self._core = core
+
+    # ------------------------------------------------------------------ #
+    # core side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    @property
+    def drained(self) -> bool:
+        return not self._queue
+
+    def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
+        if self.is_full:
+            return False
+        self._queue.append(msg)
+        self._schedule_serve()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # service: forward the first permitted message
+    # ------------------------------------------------------------------ #
+
+    def _schedule_serve(self) -> None:
+        if not self._serving:
+            self._serving = True
+            self.sim.schedule(1, self._serve)
+
+    def _serve(self) -> None:
+        self._serving = False
+        progress = False
+        # One forward per cycle; scan for the first permitted message.
+        for i, msg in enumerate(self._queue):
+            if not self.policy.may_forward(
+                msg,
+                self.pending_pim_scopes,
+                self.fenced_scopes,
+                self._earlier_same_line_write(i, msg),
+                self._earlier_same_scope_order(i, msg),
+            ):
+                continue
+            if self._forward(msg):
+                del self._queue[i]
+                progress = True
+            break
+        if progress:
+            self._forwarded.add()
+            if self._core is not None:
+                self._core.on_entry_point_progress()
+            if self._queue:
+                self._schedule_serve()
+
+    def _earlier_same_line_write(self, index: int, msg: Message) -> bool:
+        if msg.mtype is not MessageType.LOAD:
+            return False
+        line = msg.addr & ~63
+        for i, earlier in enumerate(self._queue):
+            if i >= index:
+                return False
+            if (earlier.mtype in (MessageType.STORE, MessageType.FLUSH)
+                    and (earlier.addr & ~63) == line):
+                return True
+        return False
+
+    def _earlier_same_scope_order(self, index: int, msg: Message) -> str:
+        """Oldest still-queued same-scope orderer ahead of ``msg``.
+
+        Returns ``"pim"`` or ``"fence"`` when an older, not-yet-forwarded
+        PIM op / scope-fence to ``msg``'s scope sits ahead of it, else
+        ``""``.  A held PIM op behaves like an un-ACKed one for ordering:
+        a younger same-scope access jumping over it would read pre-PIM
+        data (the Fig. 1 race, reproduced inside the write buffer).
+        Whether the *PIM op* blocks the younger access is the policy's
+        call (scope-relaxed permits the reorder); a queued scope-fence
+        blocks same-scope accesses under every model -- ordering is its
+        entire purpose.
+        """
+        if msg.scope is None or msg.mtype is MessageType.PIM_OP:
+            return ""
+        found = ""
+        for i, earlier in enumerate(self._queue):
+            if i >= index:
+                break
+            if earlier.scope != msg.scope:
+                continue
+            if earlier.mtype is MessageType.SCOPE_FENCE:
+                return "fence"
+            if earlier.mtype is MessageType.PIM_OP and not found:
+                found = "pim"
+        return found
+
+    def _forward(self, msg: Message) -> bool:
+        mtype = msg.mtype
+        if mtype is MessageType.PIM_OP:
+            msg.direct = self.policy.pim_is_direct
+            target = self.l1 if self.policy.routes_pim_through_l1 else self.req_net
+            if not target.offer(msg, self):
+                return False
+            if not self.policy.blocks_commit:
+                # The MC ACKs every PIM op; when the core is not itself
+                # waiting (every model but atomic), the ACK lands here.
+                # ``pending_pim_acks`` backs the dedicated PIM fence;
+                # ``pending_pim_scopes`` additionally drives the store/
+                # scope models' holds.
+                self.pending_pim_acks += 1
+                if self.policy.props.entry_point_holds in ("stores", "same-scope"):
+                    scope_count = self.pending_pim_scopes.get(msg.scope, 0)
+                    self.pending_pim_scopes[msg.scope] = scope_count + 1
+            return True
+        if mtype is MessageType.SCOPE_FENCE:
+            if not self.l1.offer(msg, self):
+                return False
+            self.fenced_scopes.add(msg.scope)
+            self.pending_scope_fences += 1
+            return True
+        target = self.req_net if msg.uncacheable else self.l1
+        return target.offer(msg, self)
+
+    def unblock(self) -> None:
+        self._schedule_serve()
+
+    # ------------------------------------------------------------------ #
+    # ACKs from the memory subsystem
+    # ------------------------------------------------------------------ #
+
+    def receive_response(self, resp: Message) -> None:
+        if resp.mtype is MessageType.PIM_ACK:
+            self.pending_pim_acks -= 1
+            if resp.scope in self.pending_pim_scopes:
+                count = self.pending_pim_scopes[resp.scope] - 1
+                if count <= 0:
+                    del self.pending_pim_scopes[resp.scope]
+                else:
+                    self.pending_pim_scopes[resp.scope] = count
+        elif resp.mtype is MessageType.SCOPE_FENCE_ACK:
+            self.pending_scope_fences -= 1
+            self.fenced_scopes.discard(resp.scope)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"entry point got {resp.mtype}")
+        self._schedule_serve()
+        if self._core is not None:
+            self._core.on_subsystem_ack(resp)

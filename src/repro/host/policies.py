@@ -1,0 +1,148 @@
+"""Per-model issue policies for the memory-subsystem entry point.
+
+Section V implements each consistency model with two knobs:
+
+1. whether the *core* withholds commit of a PIM op until its ACK
+   (atomic model only -- :attr:`IssuePolicy.blocks_commit`), and
+2. which operations the *entry point* (the write buffer, Fig. 6b) holds
+   back while PIM ops are in flight.
+
+:class:`IssuePolicy` evaluates rule 2 for one queued message given the
+entry point's pending state.  The relation between these operational
+rules and the declarative Table-I reordering matrix
+(:meth:`repro.core.models.ModelProperties.may_reorder`) is checked by the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.models import ConsistencyModel, ModelProperties, properties_of
+from repro.sim.messages import Message, MessageType
+
+
+class IssuePolicy:
+    """Decides what an entry point may forward, per consistency model."""
+
+    def __init__(self, model: ConsistencyModel) -> None:
+        self.model = model
+        self.props: ModelProperties = properties_of(model)
+
+    @property
+    def blocks_commit(self) -> bool:
+        """Atomic model: the core stalls at the PIM op until the ACK."""
+        return self.props.blocks_commit
+
+    @property
+    def pim_waits_for(self) -> str:
+        """Which *earlier* outstanding operations a PIM op must wait for
+        at the core before being issued.
+
+        A PIM op is issued at commit; operations program-order-before it
+        that the model forbids reordering with must have completed by
+        then, or an in-flight fill could reinstall pre-PIM data after the
+        op's flush (the Fig. 1 race):
+
+        * atomic -- everything (``"all"``; plus the post-issue ACK wait),
+        * store  -- all memory operations (TSO: stores pass nothing),
+        * scope  -- operations to the PIM op's own scope (``"same-scope"``),
+        * scope-relaxed and the baselines -- nothing; the scope-fence is
+          the tool that restores same-scope order when software needs it.
+        """
+        model = self.model
+        if model is ConsistencyModel.ATOMIC:
+            return "all"
+        if model is ConsistencyModel.STORE:
+            return "all-memops"
+        if model is ConsistencyModel.SCOPE:
+            return "same-scope"
+        return "none"
+
+    @property
+    def requires_ack(self) -> bool:
+        return self.props.requires_ack
+
+    @property
+    def routes_pim_through_l1(self) -> bool:
+        """Scope-relaxed PIM ops traverse every cache level (Fig. 6c)."""
+        return self.props.scope_buffer_all_caches
+
+    @property
+    def pim_is_direct(self) -> bool:
+        """Baselines forward PIM ops past the LLC untouched (Section VI-C)."""
+        return not self.props.flushes_at_llc
+
+    def may_forward(
+        self,
+        msg: Message,
+        pending_pim_scopes: Dict[int, int],
+        fenced_scopes: Set[int],
+        earlier_same_line_write: bool,
+        earlier_same_scope_order: str = "",
+    ) -> bool:
+        """May the entry point forward ``msg`` right now?
+
+        Args:
+            msg: the queued message under consideration.
+            pending_pim_scopes: scope -> count of forwarded-but-unACKed
+                PIM ops (empty for models without ACKs).
+            fenced_scopes: scopes with a forwarded, un-ACKed scope-fence.
+            earlier_same_line_write: an older store/flush to the same
+                line sits in the entry point queue (store-to-load order).
+            earlier_same_scope_order: ``"pim"``/``"fence"`` when an
+                older, still-queued PIM op or scope-fence to the same
+                scope sits ahead in the entry point.
+        """
+        mtype = msg.mtype
+        if mtype is MessageType.LOAD and earlier_same_line_write:
+            return False
+        if earlier_same_scope_order == "fence":
+            # A queued scope-fence orders same-scope accesses under every
+            # model -- ordering is its entire purpose.
+            return False
+        if (earlier_same_scope_order == "pim"
+                and self.model is not ConsistencyModel.SCOPE_RELAXED):
+            # Only the scope-relaxed model lets same-scope accesses
+            # reorder around a (queued) PIM op; everyone else, including
+            # the baselines, keeps write-buffer order here -- the
+            # baselines' brokenness lives in the missing flush atomicity,
+            # not in out-of-order write buffers.
+            return False
+        if mtype is not MessageType.PIM_OP and msg.scope in fenced_scopes:
+            # Scope-fence ordering: same-scope ops wait for its ACK.  PIM
+            # ops are ordered behind the fence by the request path itself
+            # (they follow it through every cache level), so they need
+            # not wait here.
+            return False
+
+        holds = self.props.entry_point_holds
+        if holds == "none":
+            return True
+        if holds == "all":
+            # Atomic: the core already serializes around PIM ops; the
+            # entry point never holds anything extra.
+            return True
+        any_pending = bool(pending_pim_scopes)
+        if holds == "stores":
+            # TSO store semantics: PIM ops order like stores, so stores,
+            # flushes, scope fences and further PIM ops wait behind a
+            # pending PIM op; loads to *other* scopes may bypass it.
+            if not any_pending:
+                return True
+            if mtype is MessageType.LOAD:
+                return msg.scope not in pending_pim_scopes
+            return False
+        if holds == "same-scope":
+            return msg.scope not in pending_pim_scopes
+        raise ValueError(f"unknown hold class {holds!r}")  # pragma: no cover
+
+    def mem_fence_waits_for_pim(self) -> bool:
+        """Does a MemFence order outstanding PIM ops?
+
+        Under atomic/store models PIM ops are ordinary (atomic/store-like)
+        memory operations, so a fence waits for their ACKs.  Under the
+        scope and scope-relaxed models only the dedicated fences order
+        PIM ops (Section III).
+        """
+        return self.model in (ConsistencyModel.ATOMIC, ConsistencyModel.STORE)

@@ -1,0 +1,120 @@
+"""Thread programs: the operation streams host cores execute.
+
+A :class:`ThreadProgram` is the compiled form of a workload for one
+thread: loads, stores, PIM ops, fences, think-time and barriers.  The
+workload generators (:mod:`repro.workloads`) compile database operations
+into these programs; the system harness loads one program per core.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional
+
+
+class ThreadOpKind(enum.Enum):
+    """Operation kinds a core can execute.
+
+    The memory-facing kinds mirror :class:`repro.core.memops.OpKind`;
+    ``COMPUTE`` (think time) and ``BARRIER`` (workload-level thread sync)
+    are core-local.
+    """
+
+    LOAD = "load"
+    STORE = "store"
+    FLUSH = "flush"
+    PIM_OP = "pim_op"
+    MEM_FENCE = "mem_fence"
+    PIM_FENCE = "pim_fence"
+    SCOPE_FENCE = "scope_fence"
+    COMPUTE = "compute"
+    BARRIER = "barrier"
+
+
+class ThreadOp:
+    """One program operation (slotted: programs can hold millions)."""
+
+    __slots__ = ("kind", "addr", "scope", "cycles", "expect_version", "uncacheable")
+
+    def __init__(
+        self,
+        kind: ThreadOpKind,
+        addr: int = 0,
+        scope: Optional[int] = None,
+        cycles: int = 0,
+        expect_version: int = 0,
+        uncacheable: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.scope = scope
+        self.cycles = cycles
+        #: For loads: the minimum data version a correct execution must
+        #: observe (stale-read detector); 0 means unchecked.
+        self.expect_version = expect_version
+        self.uncacheable = uncacheable
+
+    # -- factories ------------------------------------------------------- #
+
+    @classmethod
+    def load(cls, addr: int, scope: Optional[int] = None,
+             expect_version: int = 0, uncacheable: bool = False) -> "ThreadOp":
+        return cls(ThreadOpKind.LOAD, addr=addr, scope=scope,
+                   expect_version=expect_version, uncacheable=uncacheable)
+
+    @classmethod
+    def store(cls, addr: int, scope: Optional[int] = None,
+              uncacheable: bool = False) -> "ThreadOp":
+        return cls(ThreadOpKind.STORE, addr=addr, scope=scope,
+                   uncacheable=uncacheable)
+
+    @classmethod
+    def flush(cls, addr: int, scope: Optional[int] = None) -> "ThreadOp":
+        return cls(ThreadOpKind.FLUSH, addr=addr, scope=scope)
+
+    @classmethod
+    def pim_op(cls, scope: int, addr: int = 0) -> "ThreadOp":
+        return cls(ThreadOpKind.PIM_OP, addr=addr, scope=scope)
+
+    @classmethod
+    def mem_fence(cls) -> "ThreadOp":
+        return cls(ThreadOpKind.MEM_FENCE)
+
+    @classmethod
+    def pim_fence(cls) -> "ThreadOp":
+        return cls(ThreadOpKind.PIM_FENCE)
+
+    @classmethod
+    def scope_fence(cls, scope: int, addr: int = 0) -> "ThreadOp":
+        return cls(ThreadOpKind.SCOPE_FENCE, addr=addr, scope=scope)
+
+    @classmethod
+    def compute(cls, cycles: int) -> "ThreadOp":
+        return cls(ThreadOpKind.COMPUTE, cycles=cycles)
+
+    @classmethod
+    def barrier(cls) -> "ThreadOp":
+        return cls(ThreadOpKind.BARRIER)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind.value} addr={self.addr:#x} scope={self.scope}>"
+
+
+class ThreadProgram:
+    """A named sequence of :class:`ThreadOp` for one thread."""
+
+    def __init__(self, name: str, ops: Optional[Iterable[ThreadOp]] = None) -> None:
+        self.name = name
+        self.ops: List[ThreadOp] = list(ops or [])
+
+    def append(self, op: ThreadOp) -> None:
+        self.ops.append(op)
+
+    def extend(self, ops: Iterable[ThreadOp]) -> None:
+        self.ops.extend(ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def count(self, kind: ThreadOpKind) -> int:
+        return sum(1 for op in self.ops if op.kind is kind)

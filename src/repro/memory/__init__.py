@@ -1,0 +1,35 @@
+"""The host memory-subsystem substrate.
+
+Structural pipeline (Fig. 5 of the paper)::
+
+    core -> entry point -> private L1 -> shared request network -> inclusive
+    LLC (MESI directory, scope buffer, SBV) -> memory controller -> PIM
+    module / DRAM
+
+* :mod:`repro.memory.cache` -- set-associative arrays with MESI line states.
+* :mod:`repro.memory.mesi` -- MESI state machine helpers.
+* :mod:`repro.memory.l1` -- private first-level caches.
+* :mod:`repro.memory.llc` -- the shared, inclusive LLC with directory,
+  scope buffer, SBV, and the PIM-op scan/flush engine (Section IV).
+* :mod:`repro.memory.scope_buffer` -- the scope buffer (Section IV-A).
+* :mod:`repro.memory.sbv` -- the scope bit-vector (Section IV-B).
+* :mod:`repro.memory.memory_controller` -- reordering memory controller
+  that preserves same-address and same-scope dependencies (Section V-A).
+* :mod:`repro.memory.versioned` -- the version-tagged memory image used by
+  the stale-read (correctness) detector.
+"""
+
+from repro.memory.cache import CacheArray, CacheLine
+from repro.memory.mesi import MesiState
+from repro.memory.scope_buffer import ScopeBuffer
+from repro.memory.sbv import ScopeBitVector
+from repro.memory.versioned import VersionedMemory
+
+__all__ = [
+    "CacheArray",
+    "CacheLine",
+    "MesiState",
+    "ScopeBuffer",
+    "ScopeBitVector",
+    "VersionedMemory",
+]

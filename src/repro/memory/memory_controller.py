@@ -1,0 +1,196 @@
+"""The host memory controller.
+
+Per Section V-A the memory controller may reorder operations **but does
+not violate data dependencies**: accesses to the same line stay in arrival
+order, and nothing addressing a scope reorders with a PIM op to that
+scope.  This makes PIM-op arrival at the MC the global ordering point --
+the MC therefore sends the PIM ACK the moment a PIM op is enqueued
+(Fig. 6a/6b).
+
+Routing: messages addressing PIM scopes are handed to the PIM module
+(which is the memory for those addresses and enforces per-scope arrival
+order internally); everything else is serviced by the DRAM stage (one
+service resource; bank-level parallelism folded into a service rate).
+A message headed for the PIM module waits in the MC queue while the
+module's corresponding queue is full -- this is where the PIM module's
+back-pressure reaches the host (Section VII).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.memory.versioned import VersionedMemory
+from repro.sim.component import Component
+from repro.sim.config import MemoryConfig
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message, MessageType
+from repro.sim.stats import StatGroup
+
+
+class MemoryController(Component):
+    """Reordering memory controller with dependency preservation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: MemoryConfig,
+        memory: VersionedMemory,
+        resp_net: Component,
+        pim_module=None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.memory = memory
+        self.resp_net = resp_net
+        self.pim_module = pim_module
+        self._queue: List[Message] = []
+        self._waiting_senders: list = []
+        self._busy = False
+        #: PIM ops per scope that passed this MC and have not finished
+        #: executing (kept for statistics and external queries).
+        self.scope_inflight: Dict[int, int] = {}
+        self.stats = StatGroup(name)
+        self._served = self.stats.counter("requests_served")
+        self._pim_forwarded = self.stats.counter("pim_ops_forwarded")
+        self._queue_len = self.stats.mean("queue_length_at_arrival")
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+
+    def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
+        if len(self._queue) >= self.config.queue_capacity:
+            if sender is not None and sender not in self._waiting_senders:
+                self._waiting_senders.append(sender)
+            return False
+        self._queue_len.sample(len(self._queue))
+        self._queue.append(msg)
+        if msg.mtype is MessageType.PIM_OP:
+            # Arrival at the MC is the ordering point: ACK now (Fig. 6a-b).
+            self.scope_inflight[msg.scope] = self.scope_inflight.get(msg.scope, 0) + 1
+            if msg.reply_to is not None:
+                ack = msg.make_response(MessageType.PIM_ACK)
+                self.resp_net.offer(ack, None)
+        self.sim.schedule(0, self._serve)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # service loop
+    # ------------------------------------------------------------------ #
+
+    def _serve(self) -> None:
+        progress = True
+        while progress and self._queue:
+            progress = False
+            index = self._pick()
+            if index is None:
+                return
+            msg = self._queue[index]
+            if msg.scope is not None and self.pim_module is not None:
+                # PIM-memory traffic: hand over to the module (its queues
+                # were checked by _pick, so this cannot fail).
+                self._queue.pop(index)
+                self.pim_module.offer(msg, self)
+                if msg.mtype is MessageType.PIM_OP:
+                    self._pim_forwarded.add()
+                self._served.add()
+                self._wake_senders()
+                progress = True
+                continue
+            if self._busy:
+                return
+            # DRAM service: one message per service interval.
+            self._queue.pop(index)
+            self._served.add()
+            self._wake_senders()
+            self._busy = True
+            self.sim.schedule(self.config.dram_service_interval, self._service_done)
+            self._service_dram(msg)
+            return
+
+    def _service_dram(self, msg: Message) -> None:
+        mtype = msg.mtype
+        if mtype is MessageType.WRITEBACK:
+            self.memory.write(msg.addr, msg.version)
+        elif mtype is MessageType.LOAD:
+            version = self.memory.read(msg.addr)
+            resp = msg.make_response(MessageType.LOAD_RESP, version=version)
+            self.sim.schedule(self.config.dram_latency, self.resp_net.offer, resp, None)
+        elif mtype is MessageType.STORE:
+            version = self.memory.bump(msg.addr)
+            resp = msg.make_response(MessageType.STORE_ACK, version=version)
+            self.sim.schedule(self.config.dram_latency, self.resp_net.offer, resp, None)
+        elif mtype is MessageType.FLUSH:
+            resp = msg.make_response(MessageType.FLUSH_ACK)
+            self.sim.schedule(self.config.dram_latency, self.resp_net.offer, resp, None)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"MC cannot service {mtype}")
+
+    def _service_done(self) -> None:
+        self._busy = False
+        self._serve()
+
+    def _pick(self) -> Optional[int]:
+        """First serviceable request in arrival order (reorder window).
+
+        Dependency rules (Section V-A): same-line DRAM accesses stay
+        FIFO; PIM-scope messages stay FIFO per scope (they are handed to
+        the PIM module, which preserves arrival order per scope) and are
+        only picked when the module's corresponding queue has room.
+        """
+        module = self.pim_module
+        for i, msg in enumerate(self._queue):
+            if msg.scope is not None and module is not None:
+                if not module.can_accept(msg):
+                    continue
+                if self._earlier_same_scope(i, msg.scope):
+                    continue
+                return i
+            if self._busy:
+                continue  # the DRAM service resource is occupied
+            if self._earlier_same_line(i, msg.addr):
+                continue
+            return i
+        return None
+
+    def _earlier_same_line(self, index: int, addr: int) -> bool:
+        line = addr & ~63
+        for m in self._queue[:index]:
+            if m.scope is None and (m.addr & ~63) == line:
+                return True
+        return False
+
+    def _earlier_same_scope(self, index: int, scope: int) -> bool:
+        for m in self._queue[:index]:
+            if m.scope == scope:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # PIM module callbacks
+    # ------------------------------------------------------------------ #
+
+    def pim_op_completed(self, scope: int) -> None:
+        """The PIM module finished executing an op of ``scope``."""
+        count = self.scope_inflight.get(scope, 0) - 1
+        if count <= 0:
+            self.scope_inflight.pop(scope, None)
+        else:
+            self.scope_inflight[scope] = count
+        self.sim.schedule(0, self._serve)
+
+    def unblock(self) -> None:
+        """The PIM module freed queue space."""
+        self.sim.schedule(0, self._serve)
+
+    def _wake_senders(self) -> None:
+        if self._waiting_senders:
+            waiters, self._waiting_senders = self._waiting_senders, []
+            for waiter in waiters:
+                waiter.unblock()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,55 @@
+"""MESI coherence states and legality helpers.
+
+The evaluation system (Table II) uses a MESI protocol with an inclusive
+shared LLC acting as the directory.  States live on cache lines
+(:class:`repro.memory.cache.CacheLine`); the directory bookkeeping is in
+:mod:`repro.memory.llc`.  This module keeps the state machine itself
+explicit and unit-testable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MesiState(enum.IntEnum):
+    """Classic MESI states (IntEnum: cheap comparisons in the hot path)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+    @property
+    def readable(self) -> bool:
+        return self is not MesiState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        """May a store complete locally without a coherence transaction?"""
+        return self in (MesiState.EXCLUSIVE, MesiState.MODIFIED)
+
+    @property
+    def dirty(self) -> bool:
+        return self is MesiState.MODIFIED
+
+
+def state_on_fill(exclusive: bool) -> MesiState:
+    """State a private cache installs on a fill response."""
+    return MesiState.EXCLUSIVE if exclusive else MesiState.SHARED
+
+
+def state_after_store(state: MesiState) -> MesiState:
+    """State transition when a store hits a writable line."""
+    if not state.writable:
+        raise ValueError(f"store cannot complete in state {state.name}")
+    return MesiState.MODIFIED
+
+
+# Transitions a directory may legally request of a sharer.
+VALID_DOWNGRADES = {
+    MesiState.MODIFIED: (MesiState.SHARED, MesiState.INVALID),
+    MesiState.EXCLUSIVE: (MesiState.SHARED, MesiState.INVALID),
+    MesiState.SHARED: (MesiState.INVALID,),
+    MesiState.INVALID: (),
+}

@@ -1,0 +1,59 @@
+"""The scope bit-vector (SBV, Section IV-B).
+
+One bit per cache set; a bit is high iff its set holds at least one line
+from *some* PIM-enabled scope.  A scope scan then visits only the high
+sets.  Bits are set on PIM-line insertion; on PIM-line eviction the
+remaining lines of the set are re-checked and the bit cleared if none is
+PIM (that re-check is the hardware cost the paper accepts for precision).
+
+The mean skipped-set ratio during scans is Fig. 10d / Fig. 12c.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.stats import StatGroup
+
+
+class ScopeBitVector:
+    """Tracks which cache sets may contain PIM-enabled lines."""
+
+    def __init__(self, num_sets: int, stats: StatGroup = None) -> None:
+        if num_sets <= 0:
+            raise ValueError("need at least one set")
+        self.num_sets = num_sets
+        self._bits: List[bool] = [False] * num_sets
+        self.stats = stats if stats is not None else StatGroup("sbv")
+        self._skip_ratio = self.stats.ratio("skipped_set_ratio")
+
+    def mark(self, set_index: int) -> None:
+        """A PIM line was inserted into ``set_index``."""
+        self._bits[set_index] = True
+
+    def update_on_eviction(self, set_index: int, set_still_has_pim: bool) -> None:
+        """A PIM line left ``set_index``; re-check the set's remaining lines."""
+        self._bits[set_index] = set_still_has_pim
+
+    def is_marked(self, set_index: int) -> bool:
+        return self._bits[set_index]
+
+    def sets_to_scan(self) -> List[int]:
+        """Set indices a scope scan must visit (the high bits)."""
+        return [i for i, bit in enumerate(self._bits) if bit]
+
+    def record_scan(self, scanned: int) -> None:
+        """Account one scan: ``scanned`` sets visited out of ``num_sets``."""
+        self._skip_ratio.add(self.num_sets - scanned, self.num_sets)
+
+    @property
+    def mean_skipped_ratio(self) -> float:
+        return self._skip_ratio.ratio
+
+    def popcount(self) -> int:
+        return sum(self._bits)
+
+    # -- analytical area model ------------------------------------------ #
+
+    def storage_bits(self) -> int:
+        return self.num_sets

@@ -1,0 +1,52 @@
+"""Version-tagged memory image for the stale-read detector.
+
+Instead of simulating 64 data bytes per line, the timing model tracks a
+monotonically increasing *version* per line.  Stores bump the stored
+version; a PIM op execution bumps the versions of every line it writes
+(its result-bitmap lines).  A load response carries the version of the
+data it observed, and the workload driver knows which version a
+program-order-correct execution must observe -- anything older is a
+*stale read*, i.e. exactly the correctness violation of Section I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class VersionedMemory:
+    """The main-memory image: line address -> version."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._versions: Dict[int, int] = {}
+
+    def line_addr(self, addr: int) -> int:
+        return addr & ~(self.line_bytes - 1)
+
+    def read(self, addr: int) -> int:
+        return self._versions.get(self.line_addr(addr), 0)
+
+    def write(self, addr: int, version: int) -> None:
+        """A writeback/store installs data of the given version.
+
+        Writes never roll a line's version backwards: an in-flight stale
+        writeback must not erase a newer PIM result (the PIM module and
+        the memory controller preserve same-scope dependency order, so
+        this models the array's last-writer-wins at line granularity).
+        """
+        line = self.line_addr(addr)
+        if version > self._versions.get(line, 0):
+            self._versions[line] = version
+
+    def bump(self, addr: int) -> int:
+        """In-place increment (host store directly to memory)."""
+        line = self.line_addr(addr)
+        version = self._versions.get(line, 0) + 1
+        self._versions[line] = version
+        return version
+
+    def bump_lines(self, addrs: Iterable[int], version: int) -> None:
+        """A PIM op wrote these lines with data of ``version``."""
+        for addr in addrs:
+            self.write(addr, version)

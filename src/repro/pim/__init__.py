@@ -1,0 +1,33 @@
+"""Bulk-bitwise PIM substrate.
+
+Two layers share one instruction set:
+
+* **Functional layer** (:mod:`repro.pim.crossbar`, :mod:`repro.pim.logic`,
+  :mod:`repro.pim.isa`, :mod:`repro.pim.database`): memristive crossbar
+  arrays executing MAGIC-NOR stateful logic for real, with microcode
+  synthesis of comparison/arithmetic from NOR primitives, and a PIMDB-style
+  bit-column database engine on top.  Used by examples and unit tests.
+
+* **Timing layer** (:mod:`repro.pim.module`, :mod:`repro.pim.latency`):
+  the PIM module as seen by the memory system -- a finite op buffer,
+  same-scope serialization, cross-scope parallelism, and per-op latencies
+  derived from the functional layer's microcode lengths.
+"""
+
+from repro.pim.crossbar import Crossbar
+from repro.pim.logic import ColumnAllocator, MicroOp, MicroProgram
+from repro.pim.isa import PimInstruction, PimOpcode
+from repro.pim.database import FieldSpec, RecordSchema, ScopeDatabase, PimDatabase
+
+__all__ = [
+    "Crossbar",
+    "ColumnAllocator",
+    "MicroOp",
+    "MicroProgram",
+    "PimInstruction",
+    "PimOpcode",
+    "FieldSpec",
+    "RecordSchema",
+    "ScopeDatabase",
+    "PimDatabase",
+]

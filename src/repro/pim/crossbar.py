@@ -1,0 +1,141 @@
+"""Memristive crossbar arrays executing stateful MAGIC logic.
+
+A crossbar is a ``rows x cols`` array of single-bit memristive cells.  The
+cells are both the storage and the processing elements (Section II-A of the
+paper): a *column* logic operation applies the same gate in every row in
+parallel, reading one or more input columns and writing an output column.
+
+We implement MAGIC [16]: the output cell must first be initialized to
+logic ``1`` (the ``INIT`` step), after which applying the gate voltage
+conditionally switches it to ``0`` -- realizing NOR.  Every complex
+operation is synthesized from ``init`` + ``nor`` (see
+:mod:`repro.pim.logic`), exactly as in SIMPLER-MAGIC [2].
+
+The crossbar enforces MAGIC's usage discipline: ``nor`` into a column that
+was not initialized since it was last written raises, catching microcode
+bugs the way real hardware would produce garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class MagicDisciplineError(RuntimeError):
+    """A NOR wrote to a column that was not INIT-ed first."""
+
+
+class Crossbar:
+    """One memory array: bit cells addressable by (row, column).
+
+    Args:
+        rows: number of word rows (records, for the database layout).
+        cols: number of bit columns.
+
+    Cycle accounting: ``cycles`` counts array-level operations executed
+    (each ``init_*`` or ``nor_*`` is one array cycle); the timing layer
+    multiplies by the device cycle time.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self._cells = np.zeros((rows, cols), dtype=bool)
+        self._col_initialized = np.zeros(cols, dtype=bool)
+        self.cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # plain storage access (what loads/stores see)
+    # ------------------------------------------------------------------ #
+
+    def read_column(self, col: int) -> np.ndarray:
+        return self._cells[:, col].copy()
+
+    def write_column(self, col: int, values: np.ndarray) -> None:
+        self._cells[:, col] = values
+        self._col_initialized[col] = False
+
+    def read_bit(self, row: int, col: int) -> bool:
+        return bool(self._cells[row, col])
+
+    def write_bit(self, row: int, col: int, value: bool) -> None:
+        self._cells[row, col] = value
+        self._col_initialized[col] = False
+
+    def read_row_bits(self, row: int, cols: Sequence[int]) -> int:
+        """Pack the given columns of ``row`` into an integer (LSB first)."""
+        value = 0
+        for i, col in enumerate(cols):
+            if self._cells[row, col]:
+                value |= 1 << i
+        return value
+
+    def write_row_bits(self, row: int, cols: Sequence[int], value: int) -> None:
+        for i, col in enumerate(cols):
+            self._cells[row, col] = bool((value >> i) & 1)
+        self._col_initialized[list(cols)] = False
+
+    # ------------------------------------------------------------------ #
+    # MAGIC primitives (column-parallel; row ops are symmetric)
+    # ------------------------------------------------------------------ #
+
+    def init_column(self, col: int, value: bool = True) -> None:
+        """Initialize a whole column to ``value`` (one array cycle).
+
+        MAGIC requires the output cell at logic 1 before a NOR; ``init``
+        with ``value=False`` models a bulk reset (used for scratch
+        cleanup).
+        """
+        self._cells[:, col] = value
+        self._col_initialized[col] = bool(value)
+        self.cycles += 1
+
+    def nor_columns(self, inputs: Iterable[int], out: int) -> None:
+        """``out := NOR(inputs...)`` in every row, in parallel (one cycle).
+
+        The output column must have been initialized to 1 beforehand
+        (MAGIC discipline).
+        """
+        if not self._col_initialized[out]:
+            raise MagicDisciplineError(
+                f"column {out} used as NOR output without INIT"
+            )
+        cols = list(inputs)
+        if not cols:
+            raise ValueError("NOR needs at least one input column")
+        if out in cols:
+            raise ValueError("MAGIC NOR output must differ from its inputs")
+        acc = self._cells[:, cols[0]].copy()
+        for col in cols[1:]:
+            acc |= self._cells[:, col]
+        # Initialized-to-1 output conditionally switches to 0.
+        self._cells[:, out] = ~acc
+        self._col_initialized[out] = False
+        self.cycles += 1
+
+    def init_row(self, row: int, value: bool = True) -> None:
+        """Row-direction INIT (row ops are the transpose of column ops)."""
+        self._cells[row, :] = value
+        self.cycles += 1
+
+    def nor_rows(self, inputs: Iterable[int], out: int) -> None:
+        """``out-row := NOR(input rows...)`` across all columns (one cycle)."""
+        rows = list(inputs)
+        if not rows:
+            raise ValueError("NOR needs at least one input row")
+        if out in rows:
+            raise ValueError("MAGIC NOR output must differ from its inputs")
+        acc = self._cells[rows[0], :].copy()
+        for row in rows[1:]:
+            acc |= self._cells[row, :]
+        self._cells[out, :] = ~acc
+        self._col_initialized[:] = False
+        self.cycles += 1
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the full cell array (testing aid)."""
+        return self._cells.copy()

@@ -1,0 +1,50 @@
+"""PIM op latency model.
+
+The timing layer and the functional layer share one source of truth for
+how long a PIM op takes: the length of its compiled MAGIC micro-program
+(:mod:`repro.pim.logic`).  Memristive array operations take on the order
+of 10 ns each [4, 16]; a compiled range scan (~550 array cycles for a
+32-bit key) therefore costs ~5.5 us -- "numerous cycles" at the host's
+3.6 GHz, exactly the regime the paper describes for bulk-bitwise PIM
+(Section VII: PIM execution latency is one of the inherent bottlenecks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.isa import PimInstruction, ScopeLayout
+
+
+@dataclass(frozen=True)
+class PimLatencyModel:
+    """Converts array cycles to host clock cycles.
+
+    Attributes:
+        ns_per_array_cycle: memristive switching + peripheral time for one
+            array-level INIT/NOR step.
+        host_freq_ghz: host clock (Table II: 3.6 GHz).
+    """
+
+    ns_per_array_cycle: float = 10.0
+    host_freq_ghz: float = 3.6
+
+    def host_cycles(self, array_cycles: int) -> int:
+        """Host cycles consumed by ``array_cycles`` array operations."""
+        return max(1, round(array_cycles * self.ns_per_array_cycle * self.host_freq_ghz))
+
+    def instruction_latency(self, instr: PimInstruction, layout: ScopeLayout) -> int:
+        """Host-cycle latency of one PIM op, from its compiled microcode."""
+        return self.host_cycles(instr.compile(layout).cycles)
+
+
+def scan_op_latency(schema, latency_model: "PimLatencyModel" = None) -> int:
+    """Host-cycle latency of a key-comparison scan op for ``schema``.
+
+    The workload compilers use this so the timing model's PIM op latency
+    always comes from real compiled microcode for the workload's schema.
+    """
+    latency_model = latency_model or PimLatencyModel()
+    layout = ScopeLayout(schema)
+    instr = PimInstruction.scan_ge(schema.KEY, 1, slot=1)
+    return latency_model.instruction_latency(instr, layout)

@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+This package provides the generic machinery that the memory hierarchy, host
+cores, and PIM module are built on:
+
+* :mod:`repro.sim.kernel` -- the event queue and simulator loop.
+* :mod:`repro.sim.component` -- components with bounded, back-pressured
+  input queues (the building block of every pipeline stage).
+* :mod:`repro.sim.messages` -- memory-system message types.
+* :mod:`repro.sim.stats` -- counters, means, histograms and time-weighted
+  statistics used to reproduce the paper's figures.
+* :mod:`repro.sim.config` -- configuration dataclasses (Table II defaults).
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.component import Component, QueuedComponent
+from repro.sim.messages import Message, MessageType
+from repro.sim.stats import Counter, MeanStat, RatioStat, StatGroup
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    PimModuleConfig,
+    ScopeBufferConfig,
+    SystemConfig,
+)
+
+__all__ = [
+    "Simulator",
+    "Component",
+    "QueuedComponent",
+    "Message",
+    "MessageType",
+    "Counter",
+    "MeanStat",
+    "RatioStat",
+    "StatGroup",
+    "CacheConfig",
+    "CoreConfig",
+    "MemoryConfig",
+    "PimModuleConfig",
+    "ScopeBufferConfig",
+    "SystemConfig",
+]

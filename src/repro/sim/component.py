@@ -1,0 +1,218 @@
+"""Pipeline components with bounded, back-pressured input queues.
+
+Every stage of the simulated memory system (caches, network links, memory
+controller, PIM module) is a :class:`QueuedComponent`: a bounded FIFO input
+queue served at a fixed rate.  Back-pressure is explicit -- when a queue is
+full the producer's :meth:`~QueuedComponent.offer` fails, the producer
+stalls, and it is woken with :meth:`unblock` once space frees up.  This is
+the mechanism behind the paper's central observation: when the PIM module's
+buffer fills, back-pressure propagates up to the host cores (Section VII).
+
+``handle`` protocol (subclasses implement :meth:`QueuedComponent.handle`):
+
+* return ``True``  -- message consumed; the queue advances.
+* return ``False`` -- blocked on a downstream queue; the component stalls
+  until some downstream calls :meth:`unblock`.
+* return ``int n > 0`` -- busy for ``n`` cycles (e.g. an LLC scan), after
+  which ``handle`` is invoked again for the same message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Union
+
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+
+
+class Component:
+    """Base class: anything that lives in a simulation and has a name."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    def unblock(self) -> None:
+        """Called by a downstream component when its queue has space."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class QueuedComponent(Component):
+    """A component with a bounded input queue served at a fixed rate.
+
+    Args:
+        capacity: queue depth; ``None`` means unbounded (used for the
+            Fig. 11a unbounded-PIM-buffer experiment).
+        service_interval: cycles between serving consecutive messages
+            (the stage's inverse bandwidth).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: Optional[int] = None,
+        service_interval: int = 1,
+    ) -> None:
+        super().__init__(sim, name)
+        self.capacity = capacity
+        self.service_interval = service_interval
+        self._queue: deque = deque()
+        self._waiting_senders: list = []
+        self._serving = False
+        self._stalled = False
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+
+    def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
+        """Try to enqueue ``msg``; on failure the sender is parked.
+
+        Returns ``True`` if accepted.  When ``False`` is returned the
+        sender (if given) will get an :meth:`unblock` call once space
+        frees; it must then retry the offer.
+        """
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            if sender is not None and sender not in self._waiting_senders:
+                self._waiting_senders.append(sender)
+            return False
+        self._queue.append(msg)
+        self.on_enqueue(msg)
+        if not self._serving and not self._stalled:
+            self._serving = True
+            self.sim.schedule(0, self._serve)
+        return True
+
+    def on_enqueue(self, msg: Message) -> None:
+        """Hook: called when a message is accepted (stats sampling)."""
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._queue) >= self.capacity
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+
+    def handle(self, msg: Message) -> Union[bool, int]:
+        """Process the head-of-queue message (see module docstring)."""
+        raise NotImplementedError
+
+    def unblock(self) -> None:
+        """A downstream queue freed space: resume serving."""
+        if self._stalled:
+            self._stalled = False
+            if not self._serving:
+                self._serving = True
+                self.sim.schedule(0, self._serve)
+
+    def _serve(self) -> None:
+        if not self._queue:
+            self._serving = False
+            return
+        result = self.handle(self._queue[0])
+        if result is True:
+            self._queue.popleft()
+            self.on_dequeue()
+            self._wake_senders()
+            if self._queue:
+                self.sim.schedule(self.service_interval, self._serve)
+            else:
+                self._serving = False
+        elif result is False:
+            self._serving = False
+            self._stalled = True
+        else:
+            self.sim.schedule(int(result), self._serve)
+
+    def on_dequeue(self) -> None:
+        """Hook: called after the head message is consumed."""
+
+    def _wake_senders(self) -> None:
+        if self._waiting_senders:
+            waiters, self._waiting_senders = self._waiting_senders, []
+            for waiter in waiters:
+                waiter.unblock()
+
+
+class Link(QueuedComponent):
+    """A latency + bandwidth pipe between two components.
+
+    Messages are accepted into a bounded input queue, serviced one per
+    ``service_interval`` cycles (the link bandwidth), spend ``latency``
+    cycles in flight, and are then offered downstream.  If the downstream
+    queue is full, delivery stalls in arrival order and back-pressure
+    propagates to the input queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        downstream: Component,
+        latency: int = 1,
+        service_interval: int = 1,
+        capacity: Optional[int] = 8,
+        pipe_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, name, capacity=capacity, service_interval=service_interval)
+        self.downstream = downstream
+        self.latency = latency
+        self.pipe_capacity = pipe_capacity or max(2, latency)
+        self._in_flight: deque = deque()
+        self._delivering = False
+
+    def handle(self, msg: Message) -> Union[bool, int]:
+        if len(self._in_flight) >= self.pipe_capacity:
+            return False  # pipe full; unblocked when a delivery completes
+        self._in_flight.append((self.sim.now + self.latency, msg))
+        if not self._delivering:
+            self._delivering = True
+            self.sim.schedule(self.latency, self._try_deliver)
+        return True
+
+    def _try_deliver(self) -> None:
+        while self._in_flight:
+            arrival, msg = self._in_flight[0]
+            if arrival > self.sim.now:
+                self.sim.schedule_at(arrival, self._try_deliver)
+                return
+            if not self.downstream.offer(msg, self):
+                # Downstream full: it will call our unblock() when space
+                # frees; resume delivering then.
+                self._delivering = False
+                return
+            self._in_flight.popleft()
+            # Delivering freed pipe space; resume the service stage if it
+            # was blocked on pipe capacity.
+            super().unblock()
+        self._delivering = False
+
+    def unblock(self) -> None:
+        # Called both by downstream (delivery may resume) and treated as a
+        # wake-up for the service stage.
+        if self._in_flight and not self._delivering:
+            self._delivering = True
+            self.sim.schedule(0, self._try_deliver)
+        super().unblock()
+
+
+class ResponseDispatcher(Component):
+    """Terminal sink for the response network: routes to ``msg.reply_to``.
+
+    Response consumers (cores, entry points) are assumed to always accept;
+    they model their own capacity internally (e.g. MLP limits are enforced
+    at issue time, not at response delivery).
+    """
+
+    def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
+        msg.reply_to.receive_response(msg)
+        return True

@@ -1,0 +1,190 @@
+"""Configuration dataclasses, with Table II of the paper as the defaults.
+
+Two construction helpers are provided:
+
+* :meth:`SystemConfig.paper_default` -- the exact Table II configuration
+  (6 cores, 16 KB L1, 2 MB LLC, 2 MB scopes with 32 K records).
+* :meth:`SystemConfig.scaled_default` -- a proportionally scaled-down
+  configuration used by the benchmark harness so sweeps complete in
+  reasonable wall-clock time under a pure-Python simulator.  Scaling
+  preserves the ratios the paper's effects depend on (see DESIGN.md).
+
+All latencies are in host clock cycles (3.6 GHz in Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.models import ConsistencyModel
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 4
+    hit_latency: int = 2
+    #: Cycles to check one set during a scope scan (Section IV).
+    scan_cycles_per_set: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache size must be a multiple of line_bytes * ways")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+
+@dataclass(frozen=True)
+class ScopeBufferConfig:
+    """Scope buffer geometry (a small scope-indexed cache, Section IV-A)."""
+
+    sets: int = 64
+    ways: int = 4
+
+    @property
+    def entries(self) -> int:
+        return self.sets * self.ways
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Host core parameters."""
+
+    num_cores: int = 6
+    freq_ghz: float = 3.6
+    #: Maximum outstanding loads (memory-level parallelism window).
+    max_outstanding_loads: int = 8
+    #: Entry point to the memory subsystem (write buffer) depth.
+    entry_point_depth: int = 16
+    #: Cycles of non-memory work modelled between memory operations.
+    compute_cycles_per_op: int = 4
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """The shared reorder network between the L1s and the LLC."""
+
+    latency: int = 12
+    #: Inverse bandwidth: cycles per message on the shared request path.
+    service_interval: int = 1
+    queue_capacity: int = 16
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory controller and DRAM timing."""
+
+    dram_latency: int = 200
+    #: Inverse bandwidth of the DRAM service stage (bank-level parallelism
+    #: folded into one rate).
+    dram_service_interval: int = 8
+    queue_capacity: int = 32
+
+
+@dataclass(frozen=True)
+class PimModuleConfig:
+    """The bulk-bitwise PIM module (PIMDB-style [25])."""
+
+    #: Op buffer depth; ``None`` reproduces the Fig. 11a unbounded buffer.
+    buffer_capacity: Optional[int] = 128
+    #: Execution cycles of one PIM op on one scope.  Bulk-bitwise ops are
+    #: long (microseconds in [25]); 4000 host cycles ~ 1.1 us at 3.6 GHz.
+    op_latency: int = 4000
+    #: Fig. 11b "zero logic" experiment: PIM ops execute in zero time.
+    zero_logic: bool = False
+    #: Maximum scopes executing concurrently (the module can operate many
+    #: crossbar groups in parallel; ops to the same scope serialize).
+    max_concurrent_scopes: Optional[int] = None
+
+    def effective_latency(self) -> int:
+        return 0 if self.zero_logic else self.op_latency
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete system description handed to the builder."""
+
+    model: ConsistencyModel = ConsistencyModel.ATOMIC
+    cores: CoreConfig = field(default_factory=CoreConfig)
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=16 << 10, ways=4, hit_latency=2))
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=2 << 20, ways=16, hit_latency=20)
+    )
+    l1_scope_buffer: ScopeBufferConfig = field(
+        default_factory=lambda: ScopeBufferConfig(sets=16, ways=1)
+    )
+    llc_scope_buffer: ScopeBufferConfig = field(
+        default_factory=lambda: ScopeBufferConfig(sets=64, ways=4)
+    )
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    pim: PimModuleConfig = field(default_factory=PimModuleConfig)
+    #: Scope size: 2 MB huge pages (Table II).
+    scope_bytes: int = 2 << 20
+    #: Start of PIM memory in the physical address space.
+    pim_base: int = 1 << 34
+    num_scopes: int = 16
+    #: Maximum database records per scope (Table II: 32 K).
+    records_per_scope: int = 32 << 10
+    #: Ablation switches for the Section IV coherency hardware: with the
+    #: scope buffer off every PIM op scans; with the SBV off every scan
+    #: visits every set.
+    scope_buffer_enabled: bool = True
+    sbv_enabled: bool = True
+
+    @classmethod
+    def paper_default(cls, model: ConsistencyModel = ConsistencyModel.ATOMIC, num_scopes: int = 16) -> "SystemConfig":
+        """The Table II configuration."""
+        return cls(model=model, num_scopes=num_scopes)
+
+    @classmethod
+    def scaled_default(
+        cls, model: ConsistencyModel = ConsistencyModel.ATOMIC, num_scopes: int = 8
+    ) -> "SystemConfig":
+        """Proportionally scaled configuration for fast Python sweeps.
+
+        Caches, scope size, record counts and queue depths shrink together
+        (by 16x for capacities, 8x for the PIM buffer and MC queue) so
+        that set counts, lines-per-scope, result-read volumes and the
+        ops-in-flight-to-buffer-capacity ratio keep the paper's
+        proportions while event counts stay tractable.  The buffer ratio
+        matters most: the paper's central effect (strict models
+        self-throttling once the PIM module back-pressures, Section VII)
+        only appears when a scan's PIM ops can actually fill the buffer.
+        """
+        return cls(
+            model=model,
+            l1=CacheConfig(size_bytes=4 << 10, ways=4, hit_latency=2),
+            llc=CacheConfig(size_bytes=128 << 10, ways=16, hit_latency=20),
+            llc_scope_buffer=ScopeBufferConfig(sets=16, ways=4),
+            l1_scope_buffer=ScopeBufferConfig(sets=8, ways=1),
+            memory=MemoryConfig(queue_capacity=16),
+            pim=PimModuleConfig(buffer_capacity=16),
+            scope_bytes=128 << 10,
+            num_scopes=num_scopes,
+            records_per_scope=2 << 10,
+        )
+
+    def with_model(self, model: ConsistencyModel) -> "SystemConfig":
+        """A copy of this configuration under another consistency model."""
+        return replace(self, model=model)
+
+    def with_pim(self, **kwargs) -> "SystemConfig":
+        """A copy with PIM-module fields overridden (Fig. 11 experiments)."""
+        return replace(self, pim=replace(self.pim, **kwargs))
+
+    def __post_init__(self) -> None:
+        if self.pim_base % self.scope_bytes:
+            raise ValueError("pim_base must be scope-aligned")
+        if self.scope_bytes % self.llc.line_bytes:
+            raise ValueError("scope size must be line-aligned")

@@ -1,0 +1,132 @@
+"""Statistics primitives for reproducing the paper's figures.
+
+The paper reports sampled means (e.g. Fig. 10a: mean PIM-module buffer
+length *on PIM op arrival*), ratios (Fig. 9 scope-buffer hit rate,
+Fig. 10d SBV skipped-set ratio) and plain counters.  These small classes
+keep that bookkeeping uniform and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class MeanStat:
+    """Mean of sampled values (e.g. buffer occupancy at op arrival)."""
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total: float = 0.0
+        self.count: int = 0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def sample(self, value: Number) -> None:
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MeanStat({self.name}: mean={self.mean:.3f} n={self.count})"
+
+
+class RatioStat:
+    """Hits / lookups style ratio (scope buffer hit rate, SBV skip rate)."""
+
+    __slots__ = ("name", "numerator", "denominator")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.numerator: float = 0.0
+        self.denominator: float = 0.0
+
+    def record(self, hit: bool) -> None:
+        self.numerator += 1 if hit else 0
+        self.denominator += 1
+
+    def add(self, numerator: Number, denominator: Number) -> None:
+        self.numerator += numerator
+        self.denominator += denominator
+
+    @property
+    def ratio(self) -> float:
+        return self.numerator / self.denominator if self.denominator else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RatioStat({self.name}={self.ratio:.4f})"
+
+
+class StatGroup:
+    """A named bag of statistics, one per component, snapshot-able.
+
+    >>> g = StatGroup("llc")
+    >>> g.counter("scans").add()
+    >>> g.mean("scan_latency").sample(38)
+    >>> g.as_dict()["scans"]
+    1
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def mean(self, name: str) -> MeanStat:
+        return self._get(name, MeanStat)
+
+    def ratio(self, name: str) -> RatioStat:
+        return self._get(name, RatioStat)
+
+    def _get(self, name: str, cls):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = cls(name)
+            self._stats[name] = stat
+        elif not isinstance(stat, cls):
+            raise TypeError(f"stat {name!r} already exists with type {type(stat)}")
+        return stat
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to ``{name: value}`` for reporting."""
+        out: Dict[str, float] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            elif isinstance(stat, MeanStat):
+                out[name] = stat.mean
+                out[name + "_count"] = stat.count
+            elif isinstance(stat, RatioStat):
+                out[name] = stat.ratio
+        return out

@@ -1,0 +1,98 @@
+"""Run harness: execute a compiled workload and collect the paper's stats.
+
+A *workload* object must provide::
+
+    compile(system) -> list[ThreadProgram]   # also registers result lines
+
+:func:`run_workload` builds the system, compiles, runs, and returns a
+:class:`SimulationResult` holding the run time and every statistic the
+evaluation figures need (scope-buffer hit rate, LLC scan latency, SBV
+skip ratio, PIM buffer occupancy, stale reads, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.config import SystemConfig
+from repro.system.builder import System
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    config: SystemConfig
+    run_time: int
+    stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    stale_reads: int = 0
+    events: int = 0
+
+    @property
+    def model_name(self) -> str:
+        return self.config.model.value
+
+    # -- the paper's headline statistics -------------------------------- #
+
+    @property
+    def scope_buffer_hit_rate(self) -> float:
+        """Fig. 9: LLC scope-buffer hit rate."""
+        return self.stats["llc"].get("hit_rate", 0.0)
+
+    @property
+    def llc_scan_latency(self) -> float:
+        """Fig. 10c: mean LLC scan latency (scope-buffer hits count as 0)."""
+        return self.stats["llc"].get("scan_latency", 0.0)
+
+    @property
+    def sbv_skip_ratio(self) -> float:
+        """Fig. 10d: mean ratio of LLC sets skipped during a scan."""
+        return self.stats["llc"].get("skipped_set_ratio", 0.0)
+
+    @property
+    def pim_buffer_mean_len(self) -> float:
+        """Fig. 10a: mean PIM-module buffer length at op arrival."""
+        return self.stats["pim"].get("buffer_len_at_arrival", 0.0)
+
+    @property
+    def pim_unique_scopes(self) -> float:
+        """Fig. 10b: mean unique scopes in the PIM buffer at op arrival."""
+        return self.stats["pim"].get("unique_scopes_at_arrival", 0.0)
+
+    @property
+    def pim_ops_executed(self) -> int:
+        return int(self.stats["pim"].get("ops_executed", 0))
+
+
+def run_workload(
+    config: SystemConfig,
+    workload,
+    max_events: Optional[int] = None,
+) -> SimulationResult:
+    """Build a system, compile and run ``workload`` on it."""
+    system = System(config)
+    programs = workload.compile(system)
+    system.load_programs(programs)
+    run_time = system.run(max_events=max_events)
+    return collect_result(system, run_time)
+
+
+def collect_result(system: System, run_time: int) -> SimulationResult:
+    """Snapshot a finished system's statistics."""
+    stats: Dict[str, Dict[str, float]] = {
+        "llc": system.llc.stats.as_dict(),
+        "mc": system.mc.stats.as_dict(),
+        "pim": system.pim_module.stats.as_dict(),
+    }
+    for l1 in system.l1s:
+        stats[l1.name] = l1.stats.as_dict()
+    for core in system.cores:
+        stats[core.name] = core.stats.as_dict()
+    return SimulationResult(
+        config=system.config,
+        run_time=run_time,
+        stats=stats,
+        stale_reads=system.total_stale_reads,
+        events=system.sim.events_executed,
+    )

@@ -1,0 +1,23 @@
+"""Workload generators: YCSB short-range scan and TPC-H (Sections VI-B).
+
+* :mod:`repro.workloads.zipf` -- the YCSB Zipfian key-popularity generator.
+* :mod:`repro.workloads.base` -- model-aware program-emission helpers
+  shared by all database workloads (fence/flush insertion per model).
+* :mod:`repro.workloads.ycsb` -- Table III: 1000 operations, 95% scans /
+  5% inserts, Zipfian scan base, uniform[1,100] result counts.
+* :mod:`repro.workloads.tpch` -- Table IV: the 19 evaluated queries with
+  their scope counts and PIM-section types.
+"""
+
+from repro.workloads.zipf import ZipfianGenerator
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+from repro.workloads.tpch import TPCH_QUERIES, TpchQuerySpec, TpchWorkload
+
+__all__ = [
+    "ZipfianGenerator",
+    "YcsbParams",
+    "YcsbWorkload",
+    "TPCH_QUERIES",
+    "TpchQuerySpec",
+    "TpchWorkload",
+]

@@ -1,0 +1,191 @@
+"""Shared machinery for compiling database workloads into thread programs.
+
+Two pieces live here:
+
+* :class:`DatabaseLayout` -- the byte-address layout of a multi-scope
+  database (mirroring :class:`repro.pim.database.PimDatabase`'s placement:
+  round-robin records, result bitmaps at the top of each scope) without
+  materializing crossbars, so compiling large timing workloads is pure
+  arithmetic.
+* :class:`ProgramEmitter` -- a per-thread program builder that knows the
+  active consistency model: it inserts the SW-Flush baseline's clflushes,
+  the scope-relaxed model's scope-fences, the uncacheable baseline's
+  bypass flags, and the stale-read expectations on result reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.models import ConsistencyModel
+from repro.core.scope import ScopeMap
+from repro.host.program import ThreadOp, ThreadProgram
+from repro.pim.database import RecordSchema
+from repro.system.builder import System
+
+
+class DatabaseLayout:
+    """Address arithmetic for a relation spread over PIM scopes."""
+
+    def __init__(self, scope_map: ScopeMap, schema: RecordSchema,
+                 records_per_scope: int, line_bytes: int = 64) -> None:
+        self.scope_map = scope_map
+        self.schema = schema
+        self.records_per_scope = records_per_scope
+        self.line_bytes = line_bytes
+        self.num_scopes = scope_map.num_scopes
+        stride = schema.record_stride()
+        if stride * records_per_scope > scope_map.scope_bytes:
+            raise ValueError("records do not fit in a scope")
+
+    @property
+    def capacity(self) -> int:
+        return self.num_scopes * self.records_per_scope
+
+    def shard_of(self, global_row: int) -> int:
+        """Scope id holding ``global_row`` (round-robin placement)."""
+        return global_row % self.num_scopes
+
+    def local_row(self, global_row: int) -> int:
+        return global_row // self.num_scopes
+
+    def record_address(self, global_row: int, field: Optional[str] = None) -> int:
+        scope = self.scope_map.scope(self.shard_of(global_row))
+        addr = scope.base + self.local_row(global_row) * self.schema.record_stride()
+        if field is not None:
+            addr += self.schema.field_byte_offset(field)
+        return addr
+
+    def record_lines(self, global_row: int) -> List[int]:
+        """Line addresses a record's bytes cover (insert stores)."""
+        base = self.record_address(global_row)
+        end = base + self.schema.record_bytes
+        first = base & ~(self.line_bytes - 1)
+        return list(range(first, end, self.line_bytes))
+
+    def bitmap_lines(self, scope_id: int, slot: int = 0) -> List[int]:
+        """Cache lines of a result-bitmap slot (what the host reads)."""
+        scope = self.scope_map.scope(scope_id)
+        bitmap_bytes = (self.records_per_scope + 7) // 8
+        region_bytes = _round_up(bitmap_bytes, self.line_bytes)
+        base = scope.limit - (slot + 1) * region_bytes
+        if base < scope.base:
+            raise ValueError("scope too small for result bitmaps")
+        return list(range(base, base + region_bytes, self.line_bytes))
+
+    def register_result_lines(self, system: System, slot: int = 0) -> None:
+        """Tell the system which lines PIM ops rewrite, per scope."""
+        for sid in range(self.num_scopes):
+            system.register_pim_result_lines(sid, self.bitmap_lines(sid, slot))
+
+
+def _round_up(value: int, quantum: int) -> int:
+    return (value + quantum - 1) // quantum * quantum
+
+
+#: Table II: records per 2 MB scope at paper scale.
+PAPER_RECORDS_PER_SCOPE = 32 << 10
+
+
+def scaled_pim_latency(microcode_latency: int, system: System) -> int:
+    """Scale a microcode-derived PIM op latency to the system's miniature.
+
+    Benchmark configurations shrink scopes (and with them result-bitmap
+    sizes and read volumes) by some factor relative to Table II; the PIM
+    execution time must shrink by the same factor or the execution/read
+    ratio -- which every effect in Figs. 7-13 depends on -- would be
+    distorted.  At paper scale the factor is 1 and the real compiled
+    latency is used unchanged.
+    """
+    scale = system.config.records_per_scope / PAPER_RECORDS_PER_SCOPE
+    return max(1, round(microcode_latency * scale))
+
+
+def partition_scopes(num_scopes: int, threads: int) -> List[List[int]]:
+    """Divide scopes evenly among threads (Section VI-B step 1)."""
+    return [list(range(t, num_scopes, threads)) for t in range(threads)]
+
+
+class ProgramEmitter:
+    """Builds one thread's program under the active consistency model."""
+
+    def __init__(self, system: System, name: str,
+                 pim_issue_counts: Dict[int, int]) -> None:
+        self.system = system
+        self.model = system.config.model
+        self.program = ThreadProgram(name)
+        self.uncacheable = self.model is ConsistencyModel.UNCACHEABLE
+        #: Shared, compile-time count of PIM ops issued per scope -- the
+        #: version a subsequent correct result read must observe.
+        self.pim_issue_counts = pim_issue_counts
+
+    # -- plain operations ------------------------------------------------ #
+
+    def load(self, addr: int, expect_version: int = 0) -> None:
+        scope = self.system.scope_map.scope_id_of(addr)
+        self.program.append(ThreadOp.load(
+            addr, scope=scope, expect_version=expect_version,
+            uncacheable=self.uncacheable and scope is not None,
+        ))
+
+    def store(self, addr: int) -> None:
+        scope = self.system.scope_map.scope_id_of(addr)
+        self.program.append(ThreadOp.store(
+            addr, scope=scope,
+            uncacheable=self.uncacheable and scope is not None,
+        ))
+
+    def compute(self, cycles: int) -> None:
+        if cycles > 0:
+            self.program.append(ThreadOp.compute(cycles))
+
+    def barrier(self) -> None:
+        self.program.append(ThreadOp.barrier())
+
+    def mem_fence(self) -> None:
+        self.program.append(ThreadOp.mem_fence())
+
+    def pim_fence(self) -> None:
+        self.program.append(ThreadOp.pim_fence())
+
+    # -- PIM computation phases ------------------------------------------ #
+
+    def pim_group(self, scope_id: int, num_ops: int,
+                  sw_flush_lines: Iterable[int] = ()) -> None:
+        """Issue ``num_ops`` PIM ops to one scope.
+
+        Under SW-Flush, the software's explicit clflushes of the lines it
+        knows the PIM computation touches come first (Section VI-C);
+        under scope-relaxed, a scope-fence follows the group so the
+        thread's later result reads are ordered (Section V-E).
+        """
+        scope = self.system.scope_map.scope(scope_id)
+        if self.model is ConsistencyModel.SW_FLUSH:
+            for line in sw_flush_lines:
+                self.program.append(ThreadOp.flush(
+                    line, scope=self.system.scope_map.scope_id_of(line)))
+        for _ in range(num_ops):
+            self.program.append(ThreadOp.pim_op(scope_id, addr=scope.base))
+        self.pim_issue_counts[scope_id] = (
+            self.pim_issue_counts.get(scope_id, 0) + num_ops
+        )
+        if self.model is ConsistencyModel.SCOPE_RELAXED:
+            self.program.append(ThreadOp.scope_fence(scope_id, addr=scope.base))
+
+    def read_result_bitmap(self, layout: DatabaseLayout, scope_id: int,
+                           slot: int = 0) -> None:
+        """Read a scope's result bitmap, expecting the current PIM version."""
+        expect = self.pim_issue_counts.get(scope_id, 0)
+        for line in layout.bitmap_lines(scope_id, slot):
+            self.load(line, expect_version=expect)
+
+    def read_record_field(self, layout: DatabaseLayout, global_row: int,
+                          field: str) -> None:
+        self.load(layout.record_address(global_row, field))
+
+    def insert_record(self, layout: DatabaseLayout, global_row: int) -> List[int]:
+        """Stores covering a new record; returns the lines touched."""
+        lines = layout.record_lines(global_row)
+        for line in lines:
+            self.store(line)
+        return lines

@@ -1,0 +1,45 @@
+"""Hardware-overhead model (Section VI)."""
+
+import pytest
+
+from repro.analysis.area import AreaModel, cache_storage_bits, scope_hardware_bits
+from repro.sim.config import CacheConfig, ScopeBufferConfig, SystemConfig
+
+
+def test_cache_storage_bits_dominated_by_data():
+    cfg = CacheConfig(size_bytes=2 << 20, ways=16)
+    bits = cache_storage_bits(cfg)
+    data_bits = (2 << 20) * 8
+    assert data_bits < bits < data_bits * 1.2
+
+
+def test_scope_hardware_is_small():
+    cache = CacheConfig(size_bytes=2 << 20, ways=16)
+    sb = ScopeBufferConfig(sets=64, ways=4)
+    assert scope_hardware_bits(cache, sb) < cache_storage_bits(cache) * 0.01
+
+
+def test_llc_overhead_matches_paper_band():
+    """The paper synthesizes 0.092% for the LLC structures; the bit
+    model should land in the same order of magnitude."""
+    model = AreaModel(SystemConfig.paper_default())
+    overhead = model.llc_overhead()
+    assert 0.0004 < overhead < 0.002
+
+
+def test_total_overhead_below_abstract_claim():
+    """Abstract: 'The hardware overhead of our design is less than
+    0.22%.'"""
+    model = AreaModel(SystemConfig.paper_default())
+    assert model.all_caches_overhead() < 0.0022
+    assert model.llc_overhead() < 0.0022
+
+
+def test_all_caches_exceeds_llc_only():
+    model = AreaModel(SystemConfig.paper_default())
+    assert model.all_caches_overhead() > model.llc_overhead()
+
+
+def test_summary_keys():
+    summary = AreaModel(SystemConfig.paper_default()).summary()
+    assert set(summary) == {"llc_overhead", "all_caches_overhead"}

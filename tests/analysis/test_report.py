@@ -1,0 +1,24 @@
+"""Report formatting."""
+
+from repro.analysis.report import format_series, format_table
+
+
+def test_format_table_aligns_columns():
+    out = format_table(["model", "time"], [["atomic", 1.23456], ["naive", 2]],
+                       title="Fig")
+    lines = out.splitlines()
+    assert lines[0] == "Fig"
+    assert "model" in lines[1] and "time" in lines[1]
+    assert "1.235" in out and "2" in out
+
+
+def test_format_series_one_column_per_curve():
+    out = format_series("scopes", [4, 8],
+                        {"naive": [1.0, 1.1], "scope": [0.9, 0.8]})
+    assert "scopes" in out and "naive" in out and "scope" in out
+    assert "0.800" in out
+
+
+def test_empty_rows():
+    out = format_table(["a"], [])
+    assert "a" in out

@@ -1,0 +1,8 @@
+"""Pytest configuration: make tests/helpers.py importable everywhere."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import scope_map, sim  # re-export fixtures  # noqa: E402,F401

@@ -1,0 +1,105 @@
+"""The operational litmus executor and the Fig. 1 violation."""
+
+from repro.core.litmus import (
+    A, A0, A1, B, B0, B1,
+    LitmusExecutor,
+    LitmusProgram,
+    fig1_program,
+    fig1_violation,
+    fig1_violation_reachable,
+)
+from repro.core.memops import MemOp, OpKind
+
+
+def test_fig1_violation_reachable_under_software_flush():
+    """Section I: explicit flushes cannot make the PIM op atomic; a
+    prefetch between the flush and the PIM op re-caches stale data."""
+    assert fig1_violation_reachable(flush_atomic=False)
+
+
+def test_fig1_violation_impossible_with_atomic_flush():
+    """Section IV: coupling the scope flush to the PIM op closes the
+    window; no interleaving reaches the cyclic outcome."""
+    assert not fig1_violation_reachable(flush_atomic=True)
+
+
+def test_fig1_without_prefetcher_is_safe_even_with_sw_flush():
+    """The violation requires the nondeterministic re-fetch (Fig. 1,
+    step 5): with no prefetcher the flushes happen to suffice -- which
+    is exactly why the bug is easy to miss."""
+    executor = LitmusExecutor(fig1_program(), flush_atomic=False,
+                              prefetch_budget=0)
+    assert not executor.reachable(fig1_violation)
+
+
+def test_pim_result_visible_after_atomic_op():
+    """A reader that sees B1 must also see A1 under atomic flush."""
+    executor = LitmusExecutor(fig1_program(), flush_atomic=True)
+
+    def b_new_but_a_old(outcome):
+        return outcome.get((1, 1)) == B1 and outcome.get((1, 2)) == A0
+
+    assert not executor.reachable(b_new_but_a_old)
+
+
+def test_all_fig1_outcomes_without_pim_are_coherent():
+    """Sanity: before the PIM op, reads see the writes or the initial
+    zero, never made-up values."""
+    executor = LitmusExecutor(fig1_program(), flush_atomic=True)
+    for outcome in executor.outcomes():
+        values = {(t, i): v for t, i, v in outcome}
+        assert values[(1, 0)] in (0, B0, B1)
+        assert values[(1, 2)] in (0, A0, A1)
+
+
+def test_read_own_write_through_cache():
+    t0 = [
+        MemOp(OpKind.STORE, 0, 0, address=A, value=7),
+        MemOp(OpKind.LOAD, 0, 1, address=A),
+    ]
+    program = LitmusProgram.build([t0], scope_addresses=[A])
+    executor = LitmusExecutor(program, flush_atomic=True)
+    for outcome in executor.outcomes():
+        values = {(t, i): v for t, i, v in outcome}
+        assert values[(0, 1)] == 7
+
+
+def test_dirty_data_survives_pim_flush():
+    """An atomic scope flush writes dirty lines back before executing,
+    so the PIM op computes on the latest store."""
+    t0 = [
+        MemOp(OpKind.STORE, 0, 0, address=A, value=5),
+        MemOp(OpKind.PIM_OP, 0, 1, scope=0),
+        MemOp(OpKind.LOAD, 0, 2, address=A),
+    ]
+    program = LitmusProgram.build([t0], scope_addresses=[A],
+                                  pim_function=lambda addr, v: v * 10)
+    executor = LitmusExecutor(program, flush_atomic=True, prefetch_budget=0)
+    outcomes = executor.outcomes()
+    assert all(dict(((t, i), v) for t, i, v in o)[(0, 2)] == 50 for o in outcomes)
+
+
+def test_sw_flush_pim_misses_dirty_cached_data():
+    """Without the atomic flush, a PIM op can run on memory while the
+    latest store still sits dirty in the cache -- the lost-update flavor
+    of the same coherency break."""
+    t0 = [
+        MemOp(OpKind.STORE, 0, 0, address=A, value=5),
+        MemOp(OpKind.PIM_OP, 0, 1, scope=0),
+    ]
+    program = LitmusProgram.build([t0], scope_addresses=[A],
+                                  pim_function=lambda addr, v: v * 10)
+    executor = LitmusExecutor(program, flush_atomic=False, prefetch_budget=0)
+    # PIM computed 0 * 10; the store's 5 never reached memory.
+    outcomes = executor.outcomes()
+    assert outcomes  # terminal states exist; inspect memory via reads:
+    # (no reads in this program; reachability asserted via a follow-up read)
+    t0_with_read = t0 + [
+        MemOp(OpKind.FLUSH, 0, 2, address=A),
+        MemOp(OpKind.LOAD, 0, 3, address=A),
+    ]
+    program2 = LitmusProgram.build([t0_with_read], scope_addresses=[A],
+                                   pim_function=lambda addr, v: v * 10)
+    executor2 = LitmusExecutor(program2, flush_atomic=False, prefetch_budget=0)
+    # The flush after the PIM op pushes the stale 5 over the result.
+    assert executor2.reachable(lambda o: o[(0, 3)] == 5)

@@ -1,0 +1,145 @@
+"""Table I: the consistency models' reordering rules."""
+
+import pytest
+
+from repro.core.memops import MemOp, OpKind
+from repro.core.models import MODEL_PROPERTIES, ConsistencyModel, properties_of
+
+SCOPE_A, SCOPE_B = 1, 2
+
+
+def _pim(index, scope=SCOPE_A):
+    return MemOp(OpKind.PIM_OP, 0, index, scope=scope)
+
+
+def _load(index, scope=SCOPE_A):
+    return MemOp(OpKind.LOAD, 0, index, address=0x1000 * (scope or 99), scope=scope)
+
+
+def _store(index, scope=SCOPE_A):
+    return MemOp(OpKind.STORE, 0, index, address=0x1000 * (scope or 99), scope=scope)
+
+
+def _fence(index, kind=OpKind.MEM_FENCE, scope=None):
+    return MemOp(kind, 0, index, scope=scope)
+
+
+def props(model):
+    return properties_of(model)
+
+
+# ---------------------------------------------------------------------- #
+# per-model reordering matrices
+# ---------------------------------------------------------------------- #
+
+def test_atomic_forbids_all_reordering():
+    p = props(ConsistencyModel.ATOMIC)
+    assert not p.may_reorder(_pim(0), _load(1))
+    assert not p.may_reorder(_load(0), _pim(1))
+    assert not p.may_reorder(_pim(0), _load(1, scope=SCOPE_B))
+    assert not p.may_reorder(_pim(0), _store(1, scope=SCOPE_B))
+    assert not p.may_reorder(_pim(0), _pim(1, scope=SCOPE_B))
+
+
+def test_store_model_orders_like_tso_stores():
+    p = props(ConsistencyModel.STORE)
+    # a later load to another scope may bypass the PIM op (TSO)
+    assert p.may_reorder(_pim(0), _load(1, scope=SCOPE_B))
+    # ... but not to the same scope (overlapping address range)
+    assert not p.may_reorder(_pim(0), _load(1, scope=SCOPE_A))
+    # a PIM op (a store) never bypasses an earlier load or store
+    assert not p.may_reorder(_load(0, scope=SCOPE_B), _pim(1))
+    assert not p.may_reorder(_store(0, scope=SCOPE_B), _pim(1))
+    # store-store order: PIM ops do not reorder with each other
+    assert not p.may_reorder(_pim(0), _pim(1, scope=SCOPE_B))
+
+
+def test_scope_model_orders_only_same_scope():
+    p = props(ConsistencyModel.SCOPE)
+    assert p.may_reorder(_pim(0), _load(1, scope=SCOPE_B))
+    assert p.may_reorder(_load(0, scope=SCOPE_B), _pim(1))
+    assert p.may_reorder(_pim(0), _pim(1, scope=SCOPE_B))
+    assert not p.may_reorder(_pim(0), _load(1, scope=SCOPE_A))
+    assert not p.may_reorder(_pim(0, SCOPE_A), _pim(1, SCOPE_A))
+
+
+def test_scope_relaxed_allows_everything_but_fences():
+    p = props(ConsistencyModel.SCOPE_RELAXED)
+    assert p.may_reorder(_pim(0), _load(1, scope=SCOPE_A))
+    assert p.may_reorder(_load(0, scope=SCOPE_A), _pim(1))
+    assert p.may_reorder(_pim(0), _pim(1, scope=SCOPE_A))
+    # a MemFence does NOT order PIM ops under scope-relaxed
+    assert p.may_reorder(_pim(0), _fence(1))
+    # dedicated fences do
+    assert not p.may_reorder(_pim(0), _fence(1, OpKind.PIM_FENCE))
+    # the scope-fence orders only its own scope
+    assert not p.may_reorder(_pim(0, SCOPE_A), _fence(1, OpKind.SCOPE_FENCE, SCOPE_A))
+    assert p.may_reorder(_pim(0, SCOPE_A), _fence(1, OpKind.SCOPE_FENCE, SCOPE_B))
+
+
+def test_mem_fence_orders_pim_in_strict_models():
+    for model in (ConsistencyModel.ATOMIC, ConsistencyModel.STORE,
+                  ConsistencyModel.SCOPE):
+        assert not props(model).may_reorder(_pim(0), _fence(1))
+
+
+def test_baselines_enforce_nothing():
+    for model in (ConsistencyModel.NAIVE, ConsistencyModel.SW_FLUSH):
+        p = props(model)
+        assert p.may_reorder(_pim(0), _load(1, scope=SCOPE_A))
+        assert not p.guarantees_correctness
+
+
+def test_host_tso_rules_for_non_pim_pairs():
+    p = props(ConsistencyModel.ATOMIC)
+    st0, ld1 = _store(0, SCOPE_B), _load(1, scope=SCOPE_A)
+    assert p.may_reorder(st0, ld1)  # TSO store -> later load
+    assert not p.may_reorder(_load(0), _store(1))
+    same = MemOp(OpKind.LOAD, 0, 1, address=_store(0).address, scope=SCOPE_A)
+    assert not p.may_reorder(_store(0), same)  # same address
+
+
+def test_reorder_requires_same_thread():
+    p = props(ConsistencyModel.ATOMIC)
+    other = MemOp(OpKind.LOAD, 1, 0, address=4, scope=None)
+    with pytest.raises(ValueError):
+        p.may_reorder(_pim(0), other)
+
+
+# ---------------------------------------------------------------------- #
+# Table I rows and static properties
+# ---------------------------------------------------------------------- #
+
+def test_table1_rows():
+    rows = {m: props(m).table_row() for m in ConsistencyModel if m.is_proposed}
+    assert rows[ConsistencyModel.ATOMIC]["PIM Op Allowed Reordering"] == "None"
+    assert rows[ConsistencyModel.STORE]["Additional Fence Required"] == "No"
+    assert (rows[ConsistencyModel.SCOPE]["PIM Op Allowed Reordering"]
+            == "All operations to other scopes")
+    assert rows[ConsistencyModel.SCOPE_RELAXED]["Scope Buffer & SBV"] == "All caches"
+    for model, row in rows.items():
+        if model is not ConsistencyModel.SCOPE_RELAXED:
+            assert row["Scope Buffer & SBV"] == "Only LLC"
+
+
+def test_proposed_models_guarantee_correctness():
+    for model in ConsistencyModel:
+        p = props(model)
+        if model.is_proposed or model is ConsistencyModel.UNCACHEABLE:
+            assert p.guarantees_correctness, model
+        elif model in (ConsistencyModel.NAIVE, ConsistencyModel.SW_FLUSH):
+            assert not p.guarantees_correctness, model
+
+
+def test_only_atomic_blocks_commit():
+    for model in ConsistencyModel:
+        assert props(model).blocks_commit == (model is ConsistencyModel.ATOMIC)
+
+
+def test_flush_at_llc_matches_proposed_models():
+    for model in ConsistencyModel:
+        assert props(model).flushes_at_llc == model.is_proposed
+
+
+def test_all_models_have_properties():
+    assert set(MODEL_PROPERTIES) == set(ConsistencyModel)

@@ -1,0 +1,55 @@
+"""Happens-before graphs and the Fig. 1 cycle argument."""
+
+from repro.core.ordering import HappensBefore, fig1_happens_before
+
+
+def test_acyclic_chain_is_consistent():
+    hb = HappensBefore()
+    hb.add_chain(["a", "b", "c", "d"])
+    assert hb.is_consistent
+    assert hb.find_cycle() is None
+
+
+def test_simple_cycle_detected():
+    hb = HappensBefore()
+    hb.add("a", "b")
+    hb.add("b", "a")
+    cycle = hb.find_cycle()
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+
+
+def test_diamond_is_acyclic():
+    hb = HappensBefore()
+    hb.add("a", "b")
+    hb.add("a", "c")
+    hb.add("b", "d")
+    hb.add("c", "d")
+    assert hb.is_consistent
+
+
+def test_long_cycle_detected():
+    hb = HappensBefore()
+    hb.add_chain(["a", "b", "c", "d", "e"])
+    hb.add("e", "b")
+    cycle = hb.find_cycle()
+    assert cycle is not None
+    members = set(cycle)
+    assert {"b", "c", "d", "e"} <= members
+    assert "a" not in members
+
+
+def test_edges_carry_labels():
+    hb = HappensBefore()
+    hb.add("x", "y", "why")
+    assert ("x", "y", "why") in hb.edges()
+
+
+def test_fig1_cycle_exists_iff_stale_read():
+    """The paper's Section I argument: a stale read of A closes the
+    W(A) -> W(B) -> PIMop -> W(A) cycle."""
+    broken = fig1_happens_before(stale_read_of_a=True)
+    cycle = broken.find_cycle()
+    assert cycle is not None
+    assert set(cycle) >= {"W(A)", "W(B)", "PIMop"}
+    assert fig1_happens_before(stale_read_of_a=False).is_consistent

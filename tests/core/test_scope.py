@@ -1,0 +1,69 @@
+"""Scope partition and address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scope import Scope, ScopeMap
+
+BASE = 1 << 34
+SIZE = 2 << 20
+
+
+def test_scope_ranges_are_disjoint_and_cover():
+    smap = ScopeMap(BASE, SIZE, 8)
+    scopes = list(smap.scopes())
+    assert len(scopes) == 8
+    for a, b in zip(scopes, scopes[1:]):
+        assert a.limit == b.base
+    assert scopes[0].base == BASE
+    assert scopes[-1].limit == smap.pim_limit
+
+
+def test_scope_of_boundaries():
+    smap = ScopeMap(BASE, SIZE, 4)
+    assert smap.scope_id_of(BASE) == 0
+    assert smap.scope_id_of(BASE + SIZE - 1) == 0
+    assert smap.scope_id_of(BASE + SIZE) == 1
+    assert smap.scope_id_of(BASE - 1) is None
+    assert smap.scope_id_of(smap.pim_limit) is None
+
+
+def test_non_pim_memory_has_no_scope():
+    smap = ScopeMap(BASE, SIZE, 4)
+    assert not smap.is_pim(0x1000)
+    assert smap.scope_of(0x1000) is None
+
+
+def test_scope_contains_and_offset():
+    s = Scope(3, 100, 200)
+    assert s.size == 100
+    assert s.contains(150) and not s.contains(200)
+    assert s.offset_of(150) == 50
+    with pytest.raises(ValueError):
+        s.offset_of(200)
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        ScopeMap(BASE, 3 << 20, 4)  # not a power of two
+    with pytest.raises(ValueError):
+        ScopeMap(BASE + 1, SIZE, 4)  # unaligned base
+    with pytest.raises(ValueError):
+        ScopeMap(BASE, SIZE, 0)
+
+
+def test_scope_id_out_of_range():
+    smap = ScopeMap(BASE, SIZE, 4)
+    with pytest.raises(ValueError):
+        smap.scope(4)
+
+
+@given(st.integers(min_value=0, max_value=(8 * SIZE) - 1))
+def test_mapping_roundtrip(offset):
+    """Every PIM address maps to the scope whose range contains it."""
+    smap = ScopeMap(BASE, SIZE, 8)
+    addr = BASE + offset
+    sid = smap.scope_id_of(addr)
+    scope = smap.scope(sid)
+    assert scope.contains(addr)
+    assert scope.offset_of(addr) == offset - sid * SIZE

@@ -1,0 +1,127 @@
+"""Per-model entry-point issue policies (Section V)."""
+
+import pytest
+
+from repro.core.models import ConsistencyModel
+from repro.host.policies import IssuePolicy
+from repro.sim.messages import Message, MessageType
+
+
+def _load(scope=None):
+    return Message(MessageType.LOAD, addr=0x100, scope=scope)
+
+
+def _store(scope=None):
+    return Message(MessageType.STORE, addr=0x100, scope=scope)
+
+
+def _pim(scope=0):
+    return Message(MessageType.PIM_OP, addr=0, scope=scope)
+
+
+def _policy(model):
+    return IssuePolicy(model)
+
+
+def test_atomic_policy_blocks_commit_only():
+    p = _policy(ConsistencyModel.ATOMIC)
+    assert p.blocks_commit and p.requires_ack
+    # entry point never holds; the core serializes
+    assert p.may_forward(_store(0), {0: 1}, set(), False)
+    assert p.pim_waits_for == "all"
+
+
+def test_store_policy_holds_store_class_ops():
+    p = _policy(ConsistencyModel.STORE)
+    pending = {0: 1}
+    assert not p.may_forward(_store(1), pending, set(), False)
+    assert not p.may_forward(_pim(1), pending, set(), False)
+    # loads to other scopes bypass; same scope blocked
+    assert p.may_forward(_load(1), pending, set(), False)
+    assert p.may_forward(_load(None), pending, set(), False)
+    assert not p.may_forward(_load(0), pending, set(), False)
+    # with nothing pending, everything flows
+    assert p.may_forward(_store(1), {}, set(), False)
+    assert p.pim_waits_for == "all-memops"
+
+
+def test_scope_policy_holds_same_scope_only():
+    p = _policy(ConsistencyModel.SCOPE)
+    pending = {0: 2}
+    assert p.may_forward(_pim(1), pending, set(), False)
+    assert p.may_forward(_store(1), pending, set(), False)
+    assert p.may_forward(_load(1), pending, set(), False)
+    assert not p.may_forward(_load(0), pending, set(), False)
+    assert not p.may_forward(_pim(0), pending, set(), False)
+    assert p.pim_waits_for == "same-scope"
+
+
+def test_scope_relaxed_policy_holds_nothing_but_fences():
+    p = _policy(ConsistencyModel.SCOPE_RELAXED)
+    assert p.may_forward(_load(0), {0: 1}, set(), False)
+    assert p.may_forward(_pim(0), {0: 1}, set(), False)
+    # a forwarded, un-ACKed scope-fence blocks same-scope accesses
+    assert not p.may_forward(_load(0), {}, {0}, False)
+    assert p.may_forward(_load(1), {}, {0}, False)
+    assert p.pim_waits_for == "none"
+    assert p.routes_pim_through_l1
+    assert not p.requires_ack
+
+
+def test_store_to_load_queue_order():
+    p = _policy(ConsistencyModel.NAIVE)
+    assert not p.may_forward(_load(0), {}, set(), True)
+
+
+def test_queued_pim_blocks_same_scope_except_scope_relaxed():
+    for model in ConsistencyModel:
+        p = _policy(model)
+        expected = model is ConsistencyModel.SCOPE_RELAXED
+        assert p.may_forward(_load(0), {}, set(), False, "pim") == expected, model
+
+
+def test_queued_scope_fence_blocks_under_every_model():
+    for model in ConsistencyModel:
+        p = _policy(model)
+        assert not p.may_forward(_load(0), {}, set(), False, "fence"), model
+
+
+def test_baselines_forward_pim_direct():
+    for model in (ConsistencyModel.NAIVE, ConsistencyModel.SW_FLUSH,
+                  ConsistencyModel.UNCACHEABLE):
+        assert _policy(model).pim_is_direct
+    for model in (ConsistencyModel.ATOMIC, ConsistencyModel.STORE,
+                  ConsistencyModel.SCOPE, ConsistencyModel.SCOPE_RELAXED):
+        assert not _policy(model).pim_is_direct
+
+
+def test_mem_fence_pim_interaction():
+    assert _policy(ConsistencyModel.ATOMIC).mem_fence_waits_for_pim()
+    assert _policy(ConsistencyModel.STORE).mem_fence_waits_for_pim()
+    assert not _policy(ConsistencyModel.SCOPE).mem_fence_waits_for_pim()
+    assert not _policy(ConsistencyModel.SCOPE_RELAXED).mem_fence_waits_for_pim()
+
+
+def test_policy_holds_agree_with_table1_reordering():
+    """Operational holds must be at least as strict as Table I: if the
+    declarative model forbids reordering a PIM op with a later same-
+    scope load, the entry point must hold that load while the op is
+    pending."""
+    from repro.core.memops import MemOp, OpKind
+    from repro.core.models import properties_of
+
+    for model in (ConsistencyModel.ATOMIC, ConsistencyModel.STORE,
+                  ConsistencyModel.SCOPE, ConsistencyModel.SCOPE_RELAXED):
+        policy = _policy(model)
+        props = properties_of(model)
+        pim = MemOp(OpKind.PIM_OP, 0, 0, scope=0)
+        later_load = MemOp(OpKind.LOAD, 0, 1, address=0x100, scope=0)
+        declarative_allows = props.may_reorder(pim, later_load)
+        # pending PIM op to scope 0 (atomic: core blocks, so the entry
+        # point face never sees the pair concurrently)
+        operational_allows = (
+            policy.blocks_commit is False
+            and policy.may_forward(_load(0), {0: 1}, set(), False)
+        )
+        if not declarative_allows:
+            assert not operational_allows, model

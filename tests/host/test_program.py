@@ -1,0 +1,29 @@
+"""Thread program representation."""
+
+from repro.host.program import ThreadOp, ThreadOpKind, ThreadProgram
+
+
+def test_factories_set_kinds():
+    assert ThreadOp.load(0x10).kind is ThreadOpKind.LOAD
+    assert ThreadOp.store(0x10).kind is ThreadOpKind.STORE
+    assert ThreadOp.flush(0x10).kind is ThreadOpKind.FLUSH
+    assert ThreadOp.pim_op(2).kind is ThreadOpKind.PIM_OP
+    assert ThreadOp.mem_fence().kind is ThreadOpKind.MEM_FENCE
+    assert ThreadOp.pim_fence().kind is ThreadOpKind.PIM_FENCE
+    assert ThreadOp.scope_fence(1).kind is ThreadOpKind.SCOPE_FENCE
+    assert ThreadOp.compute(5).cycles == 5
+    assert ThreadOp.barrier().kind is ThreadOpKind.BARRIER
+
+
+def test_load_carries_expectation_and_uncacheable():
+    op = ThreadOp.load(0x40, scope=3, expect_version=7, uncacheable=True)
+    assert op.scope == 3 and op.expect_version == 7 and op.uncacheable
+
+
+def test_program_append_extend_count():
+    prog = ThreadProgram("t")
+    prog.append(ThreadOp.load(0))
+    prog.extend([ThreadOp.store(64), ThreadOp.load(128)])
+    assert len(prog) == 3
+    assert prog.count(ThreadOpKind.LOAD) == 2
+    assert prog.count(ThreadOpKind.STORE) == 1

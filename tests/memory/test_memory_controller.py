@@ -1,0 +1,132 @@
+"""The memory controller: ACK-at-arrival, dependency rules, routing."""
+
+from helpers import DirectDispatcher, ResponseCollector, make_load, make_pim, make_store
+
+from repro.memory.memory_controller import MemoryController
+from repro.memory.versioned import VersionedMemory
+from repro.pim.module import PimModule
+from repro.sim.config import MemoryConfig, PimModuleConfig
+from repro.sim.messages import Message, MessageType
+
+
+def _mc(sim, buffer_capacity=4, op_latency=100, queue_capacity=8):
+    memory = VersionedMemory()
+    resp = DirectDispatcher(sim, "resp")
+    mc = MemoryController(sim, "mc",
+                          MemoryConfig(dram_latency=20, dram_service_interval=2,
+                                       queue_capacity=queue_capacity),
+                          memory, resp)
+    module = PimModule(sim, "pim",
+                       PimModuleConfig(buffer_capacity=buffer_capacity,
+                                       op_latency=op_latency),
+                       memory, resp, access_latency=20)
+    module.mc = mc
+    mc.pim_module = module
+    return mc, module, memory
+
+
+def test_pim_ack_sent_at_arrival(sim):
+    """Fig. 6a/6b: the ACK is sent when the op reaches the MC, not when
+    it executes."""
+    mc, module, _ = _mc(sim, op_latency=10_000)
+    requester = ResponseCollector()
+    mc.offer(make_pim(0, reply_to=requester))
+    assert requester.of_type(MessageType.PIM_ACK)  # immediate
+
+
+def test_dram_load_roundtrip(sim):
+    mc, _, memory = _mc(sim)
+    memory.write(0x9000, 3)
+    requester = ResponseCollector()
+    mc.offer(make_load(0x9000, reply_to=requester))
+    sim.run()
+    resp = requester.of_type(MessageType.LOAD_RESP)[0]
+    assert resp.version == 3
+
+
+def test_uncacheable_store_bumps_memory(sim):
+    mc, _, memory = _mc(sim)
+    requester = ResponseCollector()
+    mc.offer(make_store(0xA000, reply_to=requester))
+    sim.run()
+    assert memory.read(0xA000) == 1
+    assert requester.of_type(MessageType.STORE_ACK)
+
+
+def test_same_line_dram_accesses_stay_fifo(sim):
+    mc, _, memory = _mc(sim)
+    requester = ResponseCollector()
+    wb = Message(MessageType.WRITEBACK, addr=0xB000, version=7)
+    mc.offer(wb)
+    mc.offer(make_load(0xB000, reply_to=requester))
+    sim.run()
+    # the load observed the writeback's data
+    assert requester.of_type(MessageType.LOAD_RESP)[0].version == 7
+
+
+def test_pim_scope_load_waits_for_pim_execution(sim, scope_map):
+    """Reads of a scope's results arrive at the module after its PIM op
+    and are served only once the op executed (Section V-A)."""
+    mc, module, memory = _mc(sim, op_latency=500)
+    scope0 = scope_map.scope(0)
+    result_line = scope0.base + 4096
+    module.result_lines_fn = lambda s: frozenset({result_line})
+
+    def bump(msg):
+        memory.write(result_line, 42)
+    module.on_execute = bump
+
+    requester = ResponseCollector()
+    mc.offer(make_pim(0, addr=scope0.base, reply_to=requester))
+    mc.offer(make_load(result_line, scope=0, reply_to=requester))
+    sim.run()
+    resp = requester.of_type(MessageType.LOAD_RESP)[0]
+    assert resp.version == 42  # saw the post-PIM value
+    assert sim.now >= 500
+
+
+def test_non_result_access_bypasses_execution(sim, scope_map):
+    """Record-data reads don't wait for the scope's queued PIM ops."""
+    mc, module, memory = _mc(sim, op_latency=100_000)
+    scope0 = scope_map.scope(0)
+    module.result_lines_fn = lambda s: frozenset({scope0.base + 4096})
+    requester = ResponseCollector()
+    mc.offer(make_pim(0, addr=scope0.base, reply_to=requester))
+    mc.offer(make_load(scope0.base + 64, scope=0, reply_to=requester))
+    sim.run(until=1000)
+    assert requester.of_type(MessageType.LOAD_RESP)  # long before 100K
+
+
+def test_module_backpressure_fills_mc_queue(sim, scope_map):
+    """When the PIM buffer is full, PIM ops pile up in the MC; when the
+    MC queue is full too, offers are rejected (back-pressure to the
+    host, Section VII)."""
+    mc, module, _ = _mc(sim, buffer_capacity=1, op_latency=100_000,
+                        queue_capacity=4)
+    requester = ResponseCollector()
+    accepted = 0
+    for _ in range(10):
+        if mc.offer(make_pim(0, reply_to=requester)):
+            accepted += 1
+        sim.run(until=sim.now + 5)
+    # 1 executing + 1 buffered + 4 in the MC queue
+    assert accepted == 6
+    assert mc.occupancy == 4
+
+
+def test_pim_ops_to_distinct_scopes_flow_to_module(sim):
+    mc, module, _ = _mc(sim, buffer_capacity=8, op_latency=50)
+    requester = ResponseCollector()
+    for scope in range(4):
+        mc.offer(make_pim(scope, reply_to=requester))
+    sim.run()
+    assert module.stats.as_dict()["ops_executed"] == 4
+    assert sim.now < 4 * 50  # scopes executed in parallel
+
+
+def test_queue_length_stat_sampled_at_arrival(sim):
+    mc, _, _ = _mc(sim)
+    requester = ResponseCollector()
+    mc.offer(make_load(0x100, reply_to=requester))
+    mc.offer(make_load(0x200, reply_to=requester))
+    assert mc.stats.as_dict()["queue_length_at_arrival_count"] == 2

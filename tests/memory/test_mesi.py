@@ -1,0 +1,47 @@
+"""MESI state machine helpers."""
+
+import pytest
+
+from repro.memory.mesi import (
+    VALID_DOWNGRADES,
+    MesiState,
+    state_after_store,
+    state_on_fill,
+)
+
+
+def test_readability():
+    assert not MesiState.INVALID.readable
+    for s in (MesiState.SHARED, MesiState.EXCLUSIVE, MesiState.MODIFIED):
+        assert s.readable
+
+
+def test_writability():
+    assert MesiState.EXCLUSIVE.writable
+    assert MesiState.MODIFIED.writable
+    assert not MesiState.SHARED.writable
+    assert not MesiState.INVALID.writable
+
+
+def test_dirty_only_modified():
+    assert MesiState.MODIFIED.dirty
+    for s in (MesiState.INVALID, MesiState.SHARED, MesiState.EXCLUSIVE):
+        assert not s.dirty
+
+
+def test_state_on_fill():
+    assert state_on_fill(exclusive=True) is MesiState.EXCLUSIVE
+    assert state_on_fill(exclusive=False) is MesiState.SHARED
+
+
+def test_state_after_store():
+    assert state_after_store(MesiState.EXCLUSIVE) is MesiState.MODIFIED
+    assert state_after_store(MesiState.MODIFIED) is MesiState.MODIFIED
+    with pytest.raises(ValueError):
+        state_after_store(MesiState.SHARED)
+
+
+def test_downgrade_table_is_monotone():
+    for state, targets in VALID_DOWNGRADES.items():
+        for target in targets:
+            assert target < state

@@ -1,0 +1,50 @@
+"""The scope bit-vector (Section IV-B)."""
+
+import pytest
+
+from repro.memory.sbv import ScopeBitVector
+
+
+def test_mark_and_scan_set():
+    sbv = ScopeBitVector(8)
+    sbv.mark(3)
+    sbv.mark(5)
+    assert sbv.sets_to_scan() == [3, 5]
+    assert sbv.is_marked(3) and not sbv.is_marked(0)
+
+
+def test_eviction_clears_bit_when_no_pim_left():
+    sbv = ScopeBitVector(8)
+    sbv.mark(3)
+    sbv.update_on_eviction(3, set_still_has_pim=False)
+    assert not sbv.is_marked(3)
+    sbv.mark(4)
+    sbv.update_on_eviction(4, set_still_has_pim=True)
+    assert sbv.is_marked(4)
+
+
+def test_skip_ratio_accounting():
+    """Fig. 10d: ratio of sets skipped out of all sets."""
+    sbv = ScopeBitVector(100)
+    for i in range(6):
+        sbv.mark(i)
+    sbv.record_scan(len(sbv.sets_to_scan()))
+    assert sbv.mean_skipped_ratio == pytest.approx(0.94)
+    sbv.record_scan(0)  # a scan that visited nothing
+    assert sbv.mean_skipped_ratio == pytest.approx((94 + 100) / 200)
+
+
+def test_popcount():
+    sbv = ScopeBitVector(16)
+    for i in (1, 5, 9):
+        sbv.mark(i)
+    assert sbv.popcount() == 3
+
+
+def test_storage_is_one_bit_per_set():
+    assert ScopeBitVector(2048).storage_bits() == 2048
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        ScopeBitVector(0)

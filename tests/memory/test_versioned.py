@@ -1,0 +1,39 @@
+"""Version-tagged memory image."""
+
+from repro.memory.versioned import VersionedMemory
+
+
+def test_initial_version_zero():
+    mem = VersionedMemory()
+    assert mem.read(0x1234) == 0
+
+
+def test_bump_increments():
+    mem = VersionedMemory()
+    assert mem.bump(0x1000) == 1
+    assert mem.bump(0x1008) == 2  # same line
+    assert mem.read(0x103F) == 2
+    assert mem.read(0x1040) == 0  # next line
+
+
+def test_write_never_regresses():
+    """A stale in-flight writeback must not erase a newer PIM result."""
+    mem = VersionedMemory()
+    mem.write(0x2000, 5)
+    mem.write(0x2000, 3)
+    assert mem.read(0x2000) == 5
+    mem.write(0x2000, 9)
+    assert mem.read(0x2000) == 9
+
+
+def test_bump_lines():
+    mem = VersionedMemory()
+    mem.bump_lines([0x0, 0x40, 0x80], version=7)
+    assert [mem.read(a) for a in (0x0, 0x40, 0x80)] == [7, 7, 7]
+    mem.bump_lines([0x40], version=4)  # older: ignored
+    assert mem.read(0x40) == 7
+
+
+def test_line_granularity():
+    mem = VersionedMemory(line_bytes=64)
+    assert mem.line_addr(0x12345) == 0x12340

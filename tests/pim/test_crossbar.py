@@ -1,0 +1,82 @@
+"""MAGIC crossbar semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pim.crossbar import Crossbar, MagicDisciplineError
+
+
+def test_storage_roundtrip():
+    x = Crossbar(8, 8)
+    x.write_bit(3, 5, True)
+    assert x.read_bit(3, 5)
+    x.write_row_bits(2, [0, 1, 2, 3], 0b1010)
+    assert x.read_row_bits(2, [0, 1, 2, 3]) == 0b1010
+
+
+def test_nor_requires_init():
+    x = Crossbar(4, 4)
+    with pytest.raises(MagicDisciplineError):
+        x.nor_columns([0, 1], 2)
+    x.init_column(2)
+    x.nor_columns([0, 1], 2)  # fine after INIT
+
+
+def test_nor_output_consumed_after_write():
+    """A column written by NOR needs a fresh INIT before reuse."""
+    x = Crossbar(4, 4)
+    x.init_column(2)
+    x.nor_columns([0, 1], 2)
+    with pytest.raises(MagicDisciplineError):
+        x.nor_columns([0, 1], 2)
+
+
+def test_nor_truth_table():
+    x = Crossbar(4, 3)
+    x.write_column(0, np.array([False, False, True, True]))
+    x.write_column(1, np.array([False, True, False, True]))
+    x.init_column(2)
+    x.nor_columns([0, 1], 2)
+    assert list(x.read_column(2)) == [True, False, False, False]
+
+
+def test_nor_output_distinct_from_inputs():
+    x = Crossbar(4, 4)
+    x.init_column(1)
+    with pytest.raises(ValueError):
+        x.nor_columns([0, 1], 1)
+
+
+def test_row_direction_nor():
+    x = Crossbar(3, 4)
+    x._cells[0] = [False, False, True, True]
+    x._cells[1] = [False, True, False, True]
+    x.init_row(2)
+    x.nor_rows([0, 1], 2)
+    assert list(x._cells[2]) == [True, False, False, False]
+
+
+def test_cycle_counting():
+    x = Crossbar(4, 4)
+    x.init_column(3)
+    x.nor_columns([0], 3)
+    x.init_row(0)
+    assert x.cycles == 3
+
+
+def test_invalid_dimensions():
+    with pytest.raises(ValueError):
+        Crossbar(0, 4)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=64))
+def test_nor_matches_boolean_algebra(rows):
+    """Property: MAGIC NOR equals ~(a | b) in every row."""
+    x = Crossbar(len(rows), 3)
+    x.write_column(0, np.array([a for a, _ in rows]))
+    x.write_column(1, np.array([b for _, b in rows]))
+    x.init_column(2)
+    x.nor_columns([0, 1], 2)
+    expected = [not (a or b) for a, b in rows]
+    assert list(x.read_column(2)) == expected

@@ -1,0 +1,100 @@
+"""Multi-scope PIM database layout and scans."""
+
+import pytest
+
+from repro.core.scope import ScopeMap
+from repro.pim.database import PimDatabase, RecordSchema
+from repro.pim.isa import PimInstruction
+
+SMAP = ScopeMap(pim_base=1 << 30, scope_bytes=128 << 10, num_scopes=4)
+
+
+def _db(records=40, rps=64):
+    schema = RecordSchema.ycsb(num_fields=2, field_bytes=4)
+    db = PimDatabase(list(SMAP.scopes()), schema, records_per_scope=rps)
+    for k in range(records):
+        db.insert(k, {"field0": k + 100, "field1": k + 200})
+    return db
+
+
+def test_round_robin_placement():
+    db = _db()
+    for row in range(40):
+        shard, local = db.shard_of(row)
+        assert shard.scope.scope_id == row % 4
+        assert local == row // 4
+
+
+def test_insert_and_read_fields():
+    db = _db()
+    shard, local = db.shard_of(17)
+    assert shard.read_field(local, "key") == 17
+    assert shard.read_field(local, "field0") == 117
+    assert shard.read_field(local, "field1") == 217
+
+
+def test_scan_spans_all_scopes():
+    db = _db()
+    bitmaps, cycles = db.scan(PimInstruction.scan_range("key", 10, 20))
+    assert db.matching_rows(bitmaps) == list(range(10, 20))
+    assert cycles > 0
+    assert len(bitmaps) == 4
+
+
+def test_matches_spread_evenly_across_scopes():
+    """Round-robin placement spreads a key range over all scopes
+    (Section VI-B: results evenly distributed)."""
+    db = _db()
+    bitmaps, _ = db.scan(PimInstruction.scan_range("key", 0, 40))
+    per_scope = [int(b.sum()) for b in bitmaps]
+    assert per_scope == [10, 10, 10, 10]
+
+
+def test_capacity_enforced():
+    db = _db(records=0, rps=1)
+    for k in range(4):
+        db.insert(k, {})
+    with pytest.raises(RuntimeError):
+        db.insert(4, {})
+
+
+def test_count_and_capacity():
+    db = _db(records=10)
+    assert db.count == 10
+    assert db.capacity == 4 * 64
+
+
+def test_record_addresses_inside_scope():
+    db = _db()
+    for row in (0, 5, 39):
+        shard, local = db.shard_of(row)
+        addr = shard.record_address(local, "field1")
+        assert shard.scope.contains(addr)
+
+
+def test_bitmap_region_at_scope_top():
+    db = _db()
+    shard = db.shards[0]
+    base0, size = shard.bitmap_region(0)
+    base1, _ = shard.bitmap_region(1)
+    assert base0 + size <= shard.scope.limit
+    assert base1 < base0
+    lines = shard.bitmap_line_addresses(0)
+    assert all(shard.scope.contains(a) for a in lines)
+    assert all(a % 64 == 0 for a in lines)
+
+
+def test_schema_validation():
+    from repro.pim.database import FieldSpec
+    RecordSchema(key_bits=8, fields=[])  # keyless-data schema is fine
+    with pytest.raises(ValueError):
+        RecordSchema(key_bits=8, fields=[FieldSpec("a", 4), FieldSpec("a", 4)])
+    with pytest.raises(ValueError):
+        FieldSpec("w", 0)
+
+
+def test_ycsb_schema_matches_table3():
+    schema = RecordSchema.ycsb()
+    assert len(schema.fields) == 5
+    assert all(f.bits == 80 for f in schema.fields)  # 10 bytes
+    assert schema.record_bytes == 4 + 5 * 10

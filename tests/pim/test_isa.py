@@ -1,0 +1,110 @@
+"""PIM instruction compilation and execution."""
+
+import pytest
+
+from repro.pim.database import FieldSpec, RecordSchema, ScopeDatabase
+from repro.pim.isa import PimInstruction, PimOpcode, ScopeLayout
+from repro.core.scope import Scope
+
+
+def _db(capacity=32):
+    schema = RecordSchema(key_bits=8, fields=[FieldSpec("val", 8)])
+    scope = Scope(0, 1 << 20, (1 << 20) + (1 << 17))
+    db = ScopeDatabase(scope, schema, capacity)
+    for k in range(16):
+        db.insert(k, {"val": 2 * k})
+    return db
+
+
+def test_scan_eq():
+    db = _db()
+    bitmap, cycles = db.execute(PimInstruction.scan_eq("key", 5))
+    assert list(bitmap.nonzero()[0]) == [5]
+    assert cycles > 0
+
+
+def test_scan_lt_ge():
+    db = _db()
+    lt, _ = db.execute(PimInstruction.scan_lt("key", 4))
+    ge, _ = db.execute(PimInstruction.scan_ge("key", 12))
+    assert list(lt.nonzero()[0]) == [0, 1, 2, 3]
+    assert list(ge.nonzero()[0]) == [12, 13, 14, 15]
+
+
+def test_scan_range_on_data_field():
+    db = _db()
+    bitmap, _ = db.execute(PimInstruction.scan_range("val", 10, 20))
+    # val = 2k, 10 <= 2k < 20  =>  k in 5..9
+    assert list(bitmap.nonzero()[0]) == [5, 6, 7, 8, 9]
+
+
+def test_invalid_rows_never_match():
+    db = _db(capacity=32)  # only 16 inserted
+    bitmap, _ = db.execute(PimInstruction.scan_ge("key", 0))
+    assert bitmap.sum() == 16  # not 32
+
+
+def test_combine_and_or():
+    db = _db()
+    db.execute(PimInstruction.scan_ge("key", 4, slot=1))
+    db.execute(PimInstruction.scan_lt("key", 8, slot=2))
+    both, _ = db.execute(PimInstruction.combine_and(1, 2, dst=0))
+    assert list(both.nonzero()[0]) == [4, 5, 6, 7]
+    either, _ = db.execute(PimInstruction.combine_or(1, 2, dst=3))
+    assert either.sum() == 16
+
+
+def test_result_not():
+    db = _db()
+    db.execute(PimInstruction.scan_lt("key", 4, slot=1))
+    inverted, _ = db.execute(
+        PimInstruction(PimOpcode.RESULT_NOT, slot=0, src_slots=(1,)))
+    # NOT includes invalid rows; only compare the valid prefix
+    assert list(inverted[:16].nonzero()[0]) == list(range(4, 16))
+
+
+def test_add_fields():
+    schema = RecordSchema(key_bits=8, fields=[FieldSpec("a", 8), FieldSpec("b", 8)])
+    scope = Scope(0, 1 << 20, (1 << 20) + (1 << 17))
+    db = ScopeDatabase(scope, schema, 8)
+    for k in range(8):
+        db.insert(k, {"a": 3 * k, "b": k + 1})
+    instr = PimInstruction(PimOpcode.ADD_FIELDS, field_name="a", field_b="b")
+    program = instr.compile(db.layout)
+    program.run(db.xbar)
+    for row in range(8):
+        assert db.xbar.read_row_bits(row, list(program.aux_cols)) == 3 * row + row + 1
+
+
+def test_program_cache_reuses_compilation():
+    db = _db()
+    instr = PimInstruction.scan_eq("key", 5)
+    db.execute(instr)
+    cached = db._program_cache[instr]
+    db.execute(instr)
+    assert db._program_cache[instr] is cached
+
+
+def test_unknown_field_raises():
+    db = _db()
+    with pytest.raises(KeyError):
+        db.execute(PimInstruction.scan_eq("nope", 5))
+
+
+def test_layout_result_slot_bounds():
+    layout = ScopeLayout(RecordSchema(key_bits=8), result_slots=2)
+    layout.result_col(1)
+    with pytest.raises(ValueError):
+        layout.result_col(2)
+
+
+def test_layout_column_regions_disjoint():
+    schema = RecordSchema(key_bits=8, fields=[FieldSpec("v", 8)])
+    layout = ScopeLayout(schema)
+    key_cols = set(layout.field_cols("key"))
+    val_cols = set(layout.field_cols("v"))
+    results = {layout.result_col(s) for s in range(layout.result_slots)}
+    assert not key_cols & val_cols
+    assert not (key_cols | val_cols) & results
+    assert layout.valid_col not in key_cols | val_cols | results
+    assert layout.scratch_first > max(results)

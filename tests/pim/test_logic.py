@@ -1,0 +1,144 @@
+"""Microcode synthesis: gates and comparators from MAGIC NOR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.crossbar import Crossbar
+from repro.pim.logic import ColumnAllocator, LogicBuilder
+
+WIDTH = 8
+
+
+def _run(build, inputs):
+    """Synthesize with ``build`` and evaluate on the given input rows.
+
+    ``inputs`` is a list of per-row integer values for the input bits.
+    Returns the result column bits.
+    """
+    rows = len(inputs)
+    xbar = Crossbar(rows, 512)
+    for row, value in enumerate(inputs):
+        xbar.write_row_bits(row, list(range(WIDTH)), value)
+    alloc = ColumnAllocator(WIDTH, 512)
+    builder = LogicBuilder(alloc)
+    result_col = build(builder, list(range(WIDTH)))
+    program = builder.program(result_col)
+    return program.run(xbar), program
+
+
+def test_not_gate():
+    bits, _ = _run(lambda b, cols: b.not_(cols[0]), [0, 1])
+    assert list(bits) == [True, False]
+
+
+def test_and_or_gates():
+    values = [0b00, 0b01, 0b10, 0b11]
+    and_bits, _ = _run(lambda b, c: b.and_([c[0], c[1]]), values)
+    or_bits, _ = _run(lambda b, c: b.or_([c[0], c[1]]), values)
+    assert list(and_bits) == [False, False, False, True]
+    assert list(or_bits) == [False, True, True, True]
+
+
+def test_xor_xnor_gates():
+    values = [0b00, 0b01, 0b10, 0b11]
+    xor_bits, _ = _run(lambda b, c: b.xor(c[0], c[1]), values)
+    xnor_bits, _ = _run(lambda b, c: b.xnor(c[0], c[1]), values)
+    assert list(xor_bits) == [False, True, True, False]
+    assert list(xnor_bits) == [True, False, False, True]
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 255), st.lists(st.integers(0, 255), min_size=1, max_size=32))
+def test_eq_const(constant, values):
+    bits, _ = _run(lambda b, c: b.eq_const(c, constant), values)
+    assert list(bits) == [v == constant for v in values]
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 255), st.lists(st.integers(0, 255), min_size=1, max_size=32))
+def test_lt_const(constant, values):
+    bits, _ = _run(lambda b, c: b.lt_const(c, constant), values)
+    assert list(bits) == [v < constant for v in values]
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 255), st.lists(st.integers(0, 255), min_size=1, max_size=32))
+def test_ge_const(constant, values):
+    bits, _ = _run(lambda b, c: b.ge_const(c, constant), values)
+    assert list(bits) == [v >= constant for v in values]
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 255), st.integers(0, 255),
+       st.lists(st.integers(0, 255), min_size=1, max_size=32))
+def test_range_const(lo, hi, values):
+    """The short-range-scan predicate lo <= v < hi."""
+    bits, _ = _run(lambda b, c: b.range_const(c, lo, hi), values)
+    assert list(bits) == [lo <= v < hi for v in values]
+
+
+def test_lt_const_extremes():
+    bits, _ = _run(lambda b, c: b.lt_const(c, 0), [0, 255])
+    assert list(bits) == [False, False]
+    bits, _ = _run(lambda b, c: b.lt_const(c, 256), [0, 255])
+    assert list(bits) == [True, True]
+
+
+@settings(max_examples=20)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                min_size=1, max_size=16))
+def test_ripple_carry_add(pairs):
+    """4-bit vector addition with carry-out."""
+    rows = len(pairs)
+    xbar = Crossbar(rows, 512)
+    a_cols, b_cols = list(range(4)), list(range(4, 8))
+    for row, (a, b) in enumerate(pairs):
+        xbar.write_row_bits(row, a_cols, a)
+        xbar.write_row_bits(row, b_cols, b)
+    builder = LogicBuilder(ColumnAllocator(8, 512))
+    sum_cols = builder.add(a_cols, b_cols)
+    program = builder.program(sum_cols[-1], aux_cols=sum_cols)
+    program.run(xbar)
+    for row, (a, b) in enumerate(pairs):
+        assert xbar.read_row_bits(row, sum_cols) == a + b
+
+
+def test_program_cycles_equals_micro_ops():
+    _, program = _run(lambda b, c: b.xor(c[0], c[1]), [0])
+    assert program.cycles == len(program.ops) > 0
+
+
+def test_touched_columns_stay_in_scratch():
+    """The op's implicit footprint stays inside the scratch region plus
+    the designated result column (Section II-A)."""
+    _, program = _run(lambda b, c: b.range_const(c, 10, 200), [0, 42, 250])
+    touched = program.touched_columns()
+    assert all(col >= WIDTH for col in touched)
+
+
+def test_allocator_exhaustion():
+    alloc = ColumnAllocator(0, 4)
+    for _ in range(4):
+        alloc.alloc()
+    with pytest.raises(RuntimeError):
+        alloc.alloc()
+
+
+def test_allocator_mark_release():
+    alloc = ColumnAllocator(0, 8)
+    alloc.alloc()
+    mark = alloc.mark()
+    alloc.alloc()
+    alloc.alloc()
+    alloc.release_to(mark)
+    assert alloc.in_use == 1
+
+
+def test_copy_to():
+    xbar = Crossbar(2, 32)
+    xbar.write_column(0, np.array([True, False]))
+    builder = LogicBuilder(ColumnAllocator(2, 32))
+    builder.copy_to(0, 1)
+    builder.program(1).run(xbar)
+    assert list(xbar.read_column(1)) == [True, False]

@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(5, order.append, "late")
+    sim.schedule(1, order.append, "early")
+    sim.schedule(3, order.append, "mid")
+    sim.run()
+    assert order == ["early", "mid", "late"]
+    assert sim.now == 5
+
+
+def test_same_cycle_events_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(7, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_during_run():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(2, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 6
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(10, hits.append, "x")
+    sim.run()
+    assert sim.now == 10 and hits == ["x"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(3, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    hits = []
+    sim.schedule(5, hits.append, "a")
+    sim.schedule(50, hits.append, "b")
+    sim.run(until=10)
+    assert hits == ["a"]
+    assert sim.now == 10
+    assert sim.pending_events() == 1
+    sim.run()
+    assert hits == ["a", "b"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(i + 1, hits.append, i)
+    sim.run(stop_when=lambda: len(hits) >= 4)
+    assert hits == [0, 1, 2, 3]
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1, nested)
+    sim.run()

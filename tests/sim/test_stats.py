@@ -1,0 +1,60 @@
+"""Statistics primitives."""
+
+import pytest
+
+from repro.sim.stats import Counter, MeanStat, RatioStat, StatGroup
+
+
+def test_counter():
+    c = Counter("x")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    assert int(c) == 5
+
+
+def test_mean_stat():
+    m = MeanStat("x")
+    for v in (2, 4, 9):
+        m.sample(v)
+    assert m.mean == pytest.approx(5.0)
+    assert m.min == 2 and m.max == 9 and m.count == 3
+
+
+def test_mean_stat_empty_is_zero():
+    assert MeanStat("x").mean == 0.0
+
+
+def test_ratio_stat_record_and_add():
+    r = RatioStat("x")
+    r.record(True)
+    r.record(False)
+    r.record(True)
+    assert r.ratio == pytest.approx(2 / 3)
+    r2 = RatioStat("y")
+    r2.add(1900, 2048)
+    assert r2.ratio == pytest.approx(1900 / 2048)
+
+
+def test_ratio_stat_empty_is_zero():
+    assert RatioStat("x").ratio == 0.0
+
+
+def test_stat_group_reuses_and_flattens():
+    g = StatGroup("llc")
+    g.counter("scans").add(3)
+    assert g.counter("scans").value == 3  # same object
+    g.mean("lat").sample(10)
+    g.ratio("hit").record(True)
+    d = g.as_dict()
+    assert d["scans"] == 3
+    assert d["lat"] == 10
+    assert d["lat_count"] == 1
+    assert d["hit"] == 1.0
+
+
+def test_stat_group_type_conflict():
+    g = StatGroup("x")
+    g.counter("a")
+    with pytest.raises(TypeError):
+        g.mean("a")

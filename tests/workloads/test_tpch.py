@@ -1,0 +1,91 @@
+"""TPC-H query workloads (Table IV)."""
+
+import pytest
+
+from repro.core.models import ConsistencyModel
+from repro.host.program import ThreadOpKind
+from repro.sim.config import SystemConfig
+from repro.system.builder import System
+from repro.workloads.tpch import TPCH_QUERIES, TpchWorkload, tpch_schema
+
+
+def test_table4_scope_counts():
+    """Exact Table IV values."""
+    expected = {
+        "q1": 1832, "q2": 66, "q3": 2336, "q4": 2290, "q5": 508,
+        "q6": 1832, "q7": 1882, "q8": 566, "q10": 2290, "q11": 4,
+        "q12": 1832, "q14": 1832, "q15": 1832, "q16": 62, "q17": 62,
+        "q19": 1894, "q20": 2294, "q21": 1832, "q22": 46,
+    }
+    assert {q: s.scopes for q, s in TPCH_QUERIES.items()} == expected
+
+
+def test_table4_pim_sections():
+    full = {q for q, s in TPCH_QUERIES.items() if "Full" in s.section}
+    assert full == {"q1", "q6", "q22"}
+    assert TPCH_QUERIES["q22"].section == "Full sub-query"
+
+
+def test_unevaluated_queries_absent():
+    """Queries 9, 13 and 18 have no PIM section (Table IV)."""
+    for q in ("q9", "q13", "q18"):
+        assert q not in TPCH_QUERIES
+        with pytest.raises(KeyError):
+            TpchWorkload(q)
+
+
+def test_heavy_filter_queries_have_longer_ops():
+    for q in ("q2", "q12", "q19"):
+        spec = TPCH_QUERIES[q]
+        assert spec.op_latency_factor > 1.0
+        assert spec.pim_ops_per_scope > TPCH_QUERIES["q3"].pim_ops_per_scope
+
+
+def test_light_queries_have_short_ops():
+    for q in ("q14", "q15", "q20"):
+        spec = TPCH_QUERIES[q]
+        assert spec.pim_ops_per_scope == 1
+        assert spec.op_latency_factor < 1.0
+
+
+def test_full_queries_read_few_results():
+    assert TPCH_QUERIES["q1"].result_read_fraction < 0.5
+    assert TPCH_QUERIES["q3"].result_read_fraction == 1.0
+
+
+def test_scaled_scopes():
+    wl = TpchWorkload("q3", scale=1 / 64)
+    assert wl.scaled_scopes() == 37
+    tiny = TpchWorkload("q11", scale=1 / 64)
+    assert tiny.scaled_scopes() == 4  # floor at one per thread
+
+
+def test_compile_runs_and_shapes():
+    wl = TpchWorkload("q11", scale=1.0, runs=3)
+    system = System(SystemConfig.scaled_default(num_scopes=4))
+    programs = wl.compile(system)
+    assert len(programs) == 4
+    pim_ops = sum(p.count(ThreadOpKind.PIM_OP) for p in programs)
+    assert pim_ops == 3 * 4 * TPCH_QUERIES["q11"].pim_ops_per_scope
+
+
+def test_compile_rejects_undersized_system():
+    wl = TpchWorkload("q3", scale=1.0)
+    system = System(SystemConfig.scaled_default(num_scopes=4))
+    with pytest.raises(ValueError):
+        wl.compile(system)
+
+
+def test_latency_override_scales_with_query_factor():
+    base_sys = System(SystemConfig.scaled_default(num_scopes=4))
+    TpchWorkload("q11", scale=1.0, runs=1).compile(base_sys)
+    heavy_sys = System(SystemConfig.scaled_default(num_scopes=8))
+    TpchWorkload("q2", scale=1 / 32, runs=1).compile(heavy_sys)
+    assert (heavy_sys.pim_op_latency_override
+            == pytest.approx(base_sys.pim_op_latency_override * 2.0, rel=0.01))
+
+
+def test_schema_is_lineitem_like():
+    schema = tpch_schema()
+    names = [f.name for f in schema.fields]
+    assert "quantity" in names and "shipdate" in names

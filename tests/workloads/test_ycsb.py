@@ -1,0 +1,125 @@
+"""YCSB short-range-scan workload (Table III)."""
+
+import pytest
+
+from repro.core.models import ConsistencyModel
+from repro.host.program import ThreadOpKind
+from repro.sim.config import SystemConfig
+from repro.system.builder import System
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+PARAMS = YcsbParams(num_records=4000, num_ops=100, threads=4, seed=7)
+
+
+def test_operation_mix_matches_table3():
+    wl = YcsbWorkload(YcsbParams(num_records=4000, num_ops=2000, seed=3))
+    ops = wl.operations()
+    scans = sum(1 for o in ops if o[0] == "scan")
+    assert scans / len(ops) == pytest.approx(0.95, abs=0.02)
+
+
+def test_operations_deterministic_and_cached():
+    wl = YcsbWorkload(PARAMS)
+    assert wl.operations() is wl.operations()
+    wl2 = YcsbWorkload(PARAMS)
+    assert wl.operations() == wl2.operations()
+
+
+def test_scan_lengths_bounded():
+    wl = YcsbWorkload(PARAMS)
+    for op in wl.operations():
+        if op[0] == "scan":
+            _, lo, hi = op
+            assert 0 <= lo and hi - lo <= PARAMS.max_scan_records
+
+
+def test_inserts_use_sequential_rows():
+    wl = YcsbWorkload(PARAMS)
+    inserted = [op[1] for op in wl.operations() if op[0] == "insert"]
+    assert inserted == list(range(4000, 4000 + len(inserted)))
+
+
+def test_required_scopes():
+    wl = YcsbWorkload(PARAMS)
+    assert wl.required_scopes(2 << 10) >= 2
+
+
+def _compile(model, params=PARAMS):
+    wl = YcsbWorkload(params)
+    system = System(SystemConfig.scaled_default(model=model, num_scopes=4))
+    return system, wl.compile(system)
+
+
+def test_compile_produces_one_program_per_thread():
+    _, programs = _compile(ConsistencyModel.ATOMIC)
+    assert len(programs) == PARAMS.threads
+    assert all(len(p) > 0 for p in programs)
+
+
+def test_threads_partition_pim_ops_over_scopes():
+    _, programs = _compile(ConsistencyModel.ATOMIC)
+    scopes_by_thread = [
+        {op.scope for op in p.ops if op.kind is ThreadOpKind.PIM_OP}
+        for p in programs
+    ]
+    for a in range(len(scopes_by_thread)):
+        for b in range(a + 1, len(scopes_by_thread)):
+            assert not scopes_by_thread[a] & scopes_by_thread[b]
+
+
+def test_flushes_only_under_sw_flush():
+    for model in (ConsistencyModel.NAIVE, ConsistencyModel.ATOMIC,
+                  ConsistencyModel.SW_FLUSH):
+        _, programs = _compile(model)
+        flushes = sum(p.count(ThreadOpKind.FLUSH) for p in programs)
+        if model is ConsistencyModel.SW_FLUSH:
+            assert flushes > 0
+        else:
+            assert flushes == 0
+
+
+def test_scope_fences_only_under_scope_relaxed():
+    for model in (ConsistencyModel.SCOPE, ConsistencyModel.SCOPE_RELAXED):
+        _, programs = _compile(model)
+        fences = sum(p.count(ThreadOpKind.SCOPE_FENCE) for p in programs)
+        assert (fences > 0) == (model is ConsistencyModel.SCOPE_RELAXED)
+
+
+def test_result_reads_carry_expectations():
+    system, programs = _compile(ConsistencyModel.ATOMIC)
+    expected_loads = [
+        op for p in programs for op in p.ops
+        if op.kind is ThreadOpKind.LOAD and op.expect_version > 0
+    ]
+    assert expected_loads
+    # expectations are monotonically non-decreasing per scope
+    per_scope = {}
+    for p in programs:
+        for op in p.ops:
+            if op.kind is ThreadOpKind.LOAD and op.expect_version:
+                last = per_scope.get(op.scope, 0)
+                assert op.expect_version >= last
+                per_scope[op.scope] = op.expect_version
+
+
+def test_pim_latency_override_set_from_microcode():
+    system, _ = _compile(ConsistencyModel.ATOMIC)
+    wl = YcsbWorkload(PARAMS)
+    assert system.pim_op_latency_override == pytest.approx(
+        wl.pim_op_latency() * system.config.records_per_scope / (32 << 10),
+        abs=1,
+    )
+
+
+def test_compile_rejects_undersized_system():
+    wl = YcsbWorkload(YcsbParams(num_records=1 << 20))
+    system = System(SystemConfig.scaled_default(num_scopes=4))
+    with pytest.raises(ValueError):
+        wl.compile(system)
+
+
+def test_uncacheable_compile_marks_pim_loads():
+    _, programs = _compile(ConsistencyModel.UNCACHEABLE)
+    pim_loads = [op for p in programs for op in p.ops
+                 if op.kind is ThreadOpKind.LOAD and op.scope is not None]
+    assert pim_loads and all(op.uncacheable for op in pim_loads)

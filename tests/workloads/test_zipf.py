@@ -1,0 +1,49 @@
+"""The YCSB Zipfian generator."""
+
+import pytest
+
+from repro.workloads.zipf import ZipfianGenerator
+
+
+def test_values_in_range():
+    gen = ZipfianGenerator(1000, seed=1)
+    for _ in range(2000):
+        assert 0 <= gen.next() < 1000
+
+
+def test_deterministic_with_seed():
+    a = [ZipfianGenerator(100, seed=42).next() for _ in range(50)]
+    b = [ZipfianGenerator(100, seed=42).next() for _ in range(50)]
+    assert a == b
+
+
+def test_popularity_is_skewed():
+    """Low ranks dominate: rank 0 should be drawn far more often than
+    its uniform share."""
+    gen = ZipfianGenerator(1000, seed=7)
+    draws = [gen.next() for _ in range(20_000)]
+    top = sum(1 for d in draws if d == 0)
+    assert top / len(draws) > 0.05  # uniform share would be 0.001
+
+
+def test_analytic_probability_monotone():
+    gen = ZipfianGenerator(100)
+    probs = [gen.probability(r) for r in range(100)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+    assert sum(probs) == pytest.approx(1.0)
+
+
+def test_probability_bounds():
+    gen = ZipfianGenerator(10)
+    with pytest.raises(ValueError):
+        gen.probability(10)
+
+
+def test_single_item():
+    gen = ZipfianGenerator(1, seed=3)
+    assert gen.next() == 0
+
+
+def test_invalid_items():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
