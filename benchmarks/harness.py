@@ -2,21 +2,25 @@
 
 Every benchmark regenerates one of the paper's tables or figures at a
 scaled-down workload size (see EXPERIMENTS.md for the scaling rationale)
-and prints the same rows/series the paper plots.  Simulation results are
-memoized per (model, workload, variant) within the pytest session, since
-several figures share the same sweep (Figs. 7, 9 and 10 all come from the
-YCSB scope-count sweep).
+and prints the same rows/series the paper plots.  Simulation points are
+declared as :class:`repro.api.Experiment` specs and executed through one
+session-wide :class:`repro.api.Runner`, whose spec-hash cache deduplicates
+the points several figures share (Figs. 7, 9 and 10 all come from the
+YCSB scope-count sweep).  Set ``REPRO_BENCH_JOBS=N`` to fan sweeps over
+N worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import os
+from dataclasses import asdict, replace
+from typing import Callable, Dict, List, Optional
 
+from repro.api import Experiment, Runner, backend_for
 from repro.core.models import ConsistencyModel
 from repro.sim.config import SystemConfig
-from repro.system.simulation import SimulationResult, run_workload
-from repro.workloads.tpch import TpchWorkload
-from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+from repro.system.simulation import SimulationResult
+from repro.workloads.ycsb import YcsbParams
 
 #: Model order used in every figure.
 ALL_MODELS = [
@@ -39,7 +43,14 @@ RECORDS_PER_SWEEP_SCOPE = 2000
 #: Operations per YCSB run (the paper uses 1000; scaled for wall-clock).
 YCSB_OPS = 30
 
-_cache: Dict[Tuple, SimulationResult] = {}
+#: Event budget per simulation point.
+MAX_EVENTS = 200_000_000
+
+
+#: One Runner per pytest session: its spec-hash cache replaces the old
+#: hand-rolled ``(model, workload, variant) -> result`` memo dict.
+runner = Runner(backend=backend_for(
+    int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1)))
 
 
 def ycsb_params(num_scopes: int, threads: int = 4) -> YcsbParams:
@@ -51,6 +62,43 @@ def ycsb_params(num_scopes: int, threads: int = 4) -> YcsbParams:
     )
 
 
+def ycsb_experiment(
+    model: ConsistencyModel,
+    num_scopes: int,
+    variant: str = "base",
+    config_fn: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+    threads: int = 4,
+) -> Experiment:
+    """The declarative spec of one YCSB sweep point."""
+    cfg = SystemConfig.scaled_default(model=model, num_scopes=num_scopes)
+    if threads != 4:
+        cfg = replace(cfg, cores=replace(cfg.cores, num_cores=2 * threads))
+    if config_fn is not None:
+        cfg = config_fn(cfg)
+    return Experiment(
+        workload="ycsb",
+        config=cfg,
+        params=asdict(ycsb_params(num_scopes, threads)),
+        variant=variant,
+        max_events=MAX_EVENTS,
+    )
+
+
+def tpch_experiment(model: ConsistencyModel, query: str,
+                    scale: float = 1 / 64, runs: int = 2) -> Experiment:
+    """The declarative spec of one TPC-H query simulation."""
+    from repro.workloads.tpch import TpchWorkload
+    workload = TpchWorkload(query, scale=scale, runs=runs)
+    cfg = SystemConfig.scaled_default(
+        model=model, num_scopes=workload.scaled_scopes())
+    return Experiment(
+        workload="tpch",
+        config=cfg,
+        params={"query": query, "scale": scale, "runs": runs},
+        max_events=MAX_EVENTS,
+    )
+
+
 def run_ycsb(
     model: ConsistencyModel,
     num_scopes: int,
@@ -58,39 +106,30 @@ def run_ycsb(
     config_fn: Optional[Callable[[SystemConfig], SystemConfig]] = None,
     threads: int = 4,
 ) -> SimulationResult:
-    """One memoized YCSB simulation point."""
-    key = ("ycsb", model, num_scopes, variant, threads)
-    if key not in _cache:
-        cfg = SystemConfig.scaled_default(model=model, num_scopes=num_scopes)
-        if threads != 4:
-            from dataclasses import replace
-            cfg = replace(cfg, cores=replace(cfg.cores, num_cores=2 * threads))
-        if config_fn is not None:
-            cfg = config_fn(cfg)
-        workload = YcsbWorkload(ycsb_params(num_scopes, threads))
-        _cache[key] = run_workload(cfg, workload, max_events=200_000_000)
-    return _cache[key]
+    """One YCSB simulation point (cached by spec hash)."""
+    return runner.run(ycsb_experiment(model, num_scopes, variant,
+                                      config_fn, threads))
 
 
 def run_tpch(model: ConsistencyModel, query: str,
              scale: float = 1 / 64, runs: int = 2) -> SimulationResult:
-    """One memoized TPC-H query simulation."""
-    key = ("tpch", model, query, scale, runs)
-    if key not in _cache:
-        workload = TpchWorkload(query, scale=scale, runs=runs)
-        cfg = SystemConfig.scaled_default(
-            model=model, num_scopes=workload.scaled_scopes())
-        _cache[key] = run_workload(cfg, workload, max_events=200_000_000)
-    return _cache[key]
+    """One TPC-H query simulation (cached by spec hash)."""
+    return runner.run(tpch_experiment(model, query, scale, runs))
 
 
 def ycsb_sweep(models: List[ConsistencyModel], variant: str = "base",
                config_fn=None, threads: int = 4,
                scopes: Optional[List[int]] = None) -> Dict[str, List[SimulationResult]]:
+    """A model x scope-count sweep, dispatched as one Runner batch."""
     scopes = scopes or SCOPE_SWEEP
+    experiments = [
+        ycsb_experiment(model, n, variant, config_fn, threads)
+        for model in models for n in scopes
+    ]
+    results = runner.run_all(experiments)
+    per_point = iter(results)
     return {
-        model.value: [run_ycsb(model, n, variant, config_fn, threads)
-                      for n in scopes]
+        model.value: [next(per_point) for _ in scopes]
         for model in models
     }
 

@@ -9,13 +9,10 @@ reports the mean LLC scan latency and run time.
 
 from dataclasses import replace
 
-from harness import once, ycsb_params
+from harness import once, run_ycsb
 
 from repro.analysis.report import format_table
 from repro.core.models import ConsistencyModel
-from repro.sim.config import SystemConfig
-from repro.system.simulation import run_workload
-from repro.workloads.ycsb import YcsbWorkload
 
 SCOPES = 16
 
@@ -29,18 +26,14 @@ VARIANTS = [
 
 def test_ablation_scope_hardware(benchmark):
     def sweep():
-        results = {}
-        for name, sb, sbv in VARIANTS:
-            cfg = replace(
-                SystemConfig.scaled_default(model=ConsistencyModel.ATOMIC,
-                                            num_scopes=SCOPES),
-                scope_buffer_enabled=sb, sbv_enabled=sbv,
+        return {
+            name: run_ycsb(
+                ConsistencyModel.ATOMIC, SCOPES, variant=f"ablation:{name}",
+                config_fn=lambda cfg, sb=sb, sbv=sbv: replace(
+                    cfg, scope_buffer_enabled=sb, sbv_enabled=sbv),
             )
-            results[name] = run_workload(
-                cfg, YcsbWorkload(ycsb_params(SCOPES)),
-                max_events=200_000_000,
-            )
-        return results
+            for name, sb, sbv in VARIANTS
+        }
 
     results = once(benchmark, sweep)
     base = results["scope buffer + SBV"]

@@ -11,13 +11,10 @@ Three stops:
 Run: python examples/quickstart.py
 """
 
-from repro.core.models import ConsistencyModel
+from repro.api import Experiment, Runner
 from repro.core.scope import ScopeMap
 from repro.pim.database import PimDatabase, RecordSchema
 from repro.pim.isa import PimInstruction
-from repro.sim.config import SystemConfig
-from repro.system.simulation import run_workload
-from repro.workloads.ycsb import YcsbParams, YcsbWorkload
 
 
 def functional_scan() -> None:
@@ -42,26 +39,33 @@ def functional_scan() -> None:
     print()
 
 
+def _ycsb_experiment(model: str) -> Experiment:
+    """A declarative experiment spec: workload by name, config by preset."""
+    return Experiment.from_dict({
+        "workload": "ycsb",
+        "params": {"num_records": 8000, "num_ops": 20, "threads": 4,
+                   "seed": 1},
+        "config": {"preset": "scaled", "model": model, "num_scopes": 4},
+        "max_events": 50_000_000,
+    })
+
+
 def timing_simulation() -> None:
     print("=== 2. Timing simulation under the atomic consistency model ===")
-    params = YcsbParams(num_records=8000, num_ops=20, threads=4, seed=1)
-    cfg = SystemConfig.scaled_default(model=ConsistencyModel.ATOMIC, num_scopes=4)
-    result = run_workload(cfg, YcsbWorkload(params), max_events=50_000_000)
+    result = Runner().run(_ycsb_experiment("atomic"))
     print(f"run time:               {result.run_time:,} cycles")
-    print(f"PIM ops executed:       {result.pim_ops_executed}")
-    print(f"scope buffer hit rate:  {result.scope_buffer_hit_rate:.2f}")
-    print(f"mean LLC scan latency:  {result.llc_scan_latency:.1f} cycles "
-          f"(of {cfg.llc.num_sets} sets)")
-    print(f"SBV skipped-set ratio:  {result.sbv_skip_ratio:.3f}")
+    print(f"PIM ops executed:       {result.pim.ops_executed:.0f}")
+    print(f"scope buffer hit rate:  {result.llc.hit_rate:.2f}")
+    print(f"mean LLC scan latency:  {result.llc.scan_latency:.1f} cycles "
+          f"(of {result.config.llc.num_sets} sets)")
+    print(f"SBV skipped-set ratio:  {result.llc.skipped_set_ratio:.3f}")
     print(f"stale PIM-result reads: {result.stale_reads}")
     print()
 
 
 def why_consistency_matters() -> None:
     print("=== 3. The same run with no consistency model (Naive) ===")
-    params = YcsbParams(num_records=8000, num_ops=20, threads=4, seed=1)
-    cfg = SystemConfig.scaled_default(model=ConsistencyModel.NAIVE, num_scopes=4)
-    result = run_workload(cfg, YcsbWorkload(params), max_events=50_000_000)
+    result = Runner().run(_ycsb_experiment("naive"))
     print(f"run time:               {result.run_time:,} cycles")
     print(f"stale PIM-result reads: {result.stale_reads}  <-- wrong answers")
     print()

@@ -14,12 +14,10 @@ Run: python examples/tpch_filter.py [query]
 import sys
 
 from repro.analysis.report import format_table
-from repro.core.models import ConsistencyModel
+from repro.api import Experiment, Runner
 from repro.core.scope import ScopeMap
 from repro.pim.database import PimDatabase
 from repro.pim.isa import PimInstruction
-from repro.sim.config import SystemConfig
-from repro.system.simulation import run_workload
 from repro.workloads.tpch import TPCH_QUERIES, TpchWorkload, tpch_schema
 
 
@@ -61,18 +59,21 @@ def timing_run(query: str) -> None:
     spec = TPCH_QUERIES[query]
     print(f"=== Timing: {query} ({spec.section}, {spec.scopes} scopes at "
           f"paper scale) ===")
-    rows = []
-    naive_time = None
-    for model in (ConsistencyModel.NAIVE, ConsistencyModel.ATOMIC,
-                  ConsistencyModel.SCOPE):
-        workload = TpchWorkload(query, scale=1 / 64, runs=3)
-        cfg = SystemConfig.scaled_default(
-            model=model, num_scopes=workload.scaled_scopes())
-        result = run_workload(cfg, workload, max_events=200_000_000)
-        if naive_time is None:
-            naive_time = result.run_time
-        rows.append([model.value, result.run_time,
-                     result.run_time / naive_time, result.stale_reads])
+    num_scopes = TpchWorkload(query, scale=1 / 64).scaled_scopes()
+    experiments = [
+        Experiment.from_dict({
+            "workload": "tpch",
+            "params": {"query": query, "scale": 1 / 64, "runs": 3},
+            "config": {"preset": "scaled", "model": model,
+                       "num_scopes": num_scopes},
+            "max_events": 200_000_000,
+        })
+        for model in ("naive", "atomic", "scope")
+    ]
+    results = Runner().run_all(experiments)
+    naive_time = results[0].run_time
+    rows = [[r.model_name, r.run_time, r.run_time / naive_time,
+             r.stale_reads] for r in results]
     print(format_table(["model", "cycles", "vs naive", "stale reads"], rows))
 
 

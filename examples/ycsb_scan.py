@@ -3,17 +3,19 @@
 Reproduces the flavour of Figs. 3 and 7 in one table: for a fixed
 database size, run the 95%-scan / 5%-insert YCSB mix (Table III) under
 the four proposed consistency models and the three baselines, and report
-run time (normalized to Naive) plus correctness.
+run time (normalized to Naive) plus correctness.  The whole sweep is a
+list of declarative Experiment specs handed to one Runner; pass a jobs
+count to fan it across worker processes.
 
-Run: python examples/ycsb_scan.py [num_scopes]
+Run: python examples/ycsb_scan.py [num_scopes] [jobs]
 """
 
 import sys
 
 from repro.analysis.report import format_table
+from repro.api import Experiment, Runner, backend_for
 from repro.core.models import ConsistencyModel
 from repro.sim.config import SystemConfig
-from repro.system.simulation import run_workload
 from repro.workloads.ycsb import YcsbParams, YcsbWorkload
 
 MODELS = [
@@ -27,7 +29,7 @@ MODELS = [
 ]
 
 
-def main(num_scopes: int = 16) -> None:
+def main(num_scopes: int = 16, jobs: int = 1) -> None:
     params = YcsbParams(num_records=num_scopes * 2000, num_ops=30,
                         threads=4, seed=7)
     workload = YcsbWorkload(params)
@@ -36,21 +38,29 @@ def main(num_scopes: int = 16) -> None:
     print(f"scan PIM-op latency (from compiled MAGIC microcode): "
           f"{workload.pim_op_latency():,} host cycles at paper scale\n")
 
+    experiments = [
+        Experiment(
+            workload="ycsb",
+            config=SystemConfig.scaled_default(model=model,
+                                               num_scopes=num_scopes),
+            params=workload.params,
+            max_events=200_000_000,
+        )
+        for model in MODELS
+    ]
+    results = Runner(backend=backend_for(jobs)).run_all(experiments)
+
     rows = []
-    naive_time = None
-    for model in MODELS:
-        cfg = SystemConfig.scaled_default(model=model, num_scopes=num_scopes)
-        result = run_workload(cfg, workload, max_events=200_000_000)
-        if model is ConsistencyModel.NAIVE:
-            naive_time = result.run_time
+    naive_time = next(r for r in results if r.model_name == "naive").run_time
+    for result in results:
         rows.append([
-            model.value,
+            result.model_name,
             result.run_time,
             result.run_time / naive_time,
             result.stale_reads,
             "yes" if result.stale_reads == 0 else "NO",
-            f"{result.pim_buffer_mean_len:.1f}",
-            f"{result.pim_unique_scopes:.1f}",
+            f"{result.pim.buffer_len_at_arrival:.1f}",
+            f"{result.pim.unique_scopes_at_arrival:.1f}",
         ])
     print(format_table(
         ["model", "cycles", "vs naive", "stale reads", "correct",
@@ -67,4 +77,5 @@ def main(num_scopes: int = 16) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16,
+         int(sys.argv[2]) if len(sys.argv) > 2 else 1)

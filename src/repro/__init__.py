@@ -4,6 +4,10 @@ Perach, Ronen & Kvatinsky, HPCA 2023 (arXiv:2211.07542).
 
 Package map:
 
+* :mod:`repro.api` -- the canonical front door: declarative
+  :class:`Experiment` specs, the workload registry, the Runner with
+  serial/process-pool backends, typed results, and the ``repro-bench``
+  CLI.
 * :mod:`repro.core` -- the paper's contribution: the four consistency
   models, scopes, ordering theory, and the Fig. 1 litmus checker.
 * :mod:`repro.pim` -- the bulk-bitwise PIM substrate, functional (MAGIC

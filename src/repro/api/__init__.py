@@ -1,0 +1,67 @@
+"""The canonical front door for running simulations.
+
+One run is an :class:`Experiment` -- a frozen spec of system config,
+workload name, workload params and variant tag.  A :class:`Runner`
+executes specs through a pluggable backend (:class:`SerialBackend` or
+:class:`ProcessPoolBackend`) and caches results by spec hash::
+
+    from repro.api import Experiment, ProcessPoolBackend, Runner
+
+    exps = [
+        Experiment.from_dict({
+            "workload": "ycsb",
+            "params": {"num_records": 8000, "num_ops": 30},
+            "config": {"preset": "scaled", "model": model, "num_scopes": 4},
+        })
+        for model in ("naive", "atomic", "scope")
+    ]
+    results = Runner(backend=ProcessPoolBackend(jobs=4)).run_all(exps)
+    print(results[1].llc.hit_rate, results[1].pim.ops_executed)
+
+Workloads are resolved by name through the registry
+(:func:`register_workload`); results come back as
+:class:`~repro.system.simulation.SimulationResult` with typed
+:class:`StatsView` access.
+"""
+
+from repro.api.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_for,
+    execute_experiment,
+)
+from repro.api.experiment import (
+    Experiment,
+    config_from_dict,
+    config_to_dict,
+    freeze_params,
+)
+from repro.api.registry import (
+    REGISTRY,
+    UnknownWorkloadError,
+    WorkloadRegistry,
+    register_workload,
+)
+from repro.api.results import SimulationResult, StatsView, headline
+from repro.api.runner import Runner
+
+__all__ = [
+    "Experiment",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "REGISTRY",
+    "Runner",
+    "SerialBackend",
+    "SimulationResult",
+    "StatsView",
+    "UnknownWorkloadError",
+    "WorkloadRegistry",
+    "backend_for",
+    "config_from_dict",
+    "config_to_dict",
+    "execute_experiment",
+    "freeze_params",
+    "headline",
+    "register_workload",
+]

@@ -1,0 +1,195 @@
+"""``repro-bench``: run experiment sweeps from the command line.
+
+Two subcommands::
+
+    repro-bench list
+        Show the registered workloads and their parameters.
+
+    repro-bench run WORKLOAD [--models atomic,scope,...] [--num-scopes 4,8]
+                    [--param key=value ...] [--preset scaled|paper]
+                    [--jobs N] [--max-events N] [--variant TAG]
+        Run the named workload under each model x scope-count point and
+        print the headline statistics.  ``--jobs N`` fans the sweep over
+        N worker processes through the ProcessPoolBackend.
+
+Examples::
+
+    repro-bench run litmus --models naive,atomic --jobs 2
+    repro-bench run ycsb --num-scopes 4,8 --param num_ops=30
+    repro-bench run tpch --param query=q6 --param scale=0.015625
+
+For YCSB, ``num_records`` defaults to ``2000 * num_scopes`` (the
+benchmark harness's scaled sweep density) unless given via ``--param``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.backends import backend_for
+from repro.api.experiment import Experiment
+from repro.api.registry import REGISTRY
+from repro.api.results import headline
+from repro.api.runner import Runner
+from repro.core.models import ConsistencyModel
+
+#: Figure order for --models all (the six models of the evaluation sweeps).
+DEFAULT_MODELS = ["naive", "sw-flush", "atomic", "store", "scope",
+                  "scope-relaxed"]
+
+#: Records per scope used when the YCSB sweep doesn't pin num_records.
+YCSB_RECORDS_PER_SCOPE = 2000
+
+
+def _parse_value(text: str):
+    """Best-effort literal parsing: ints, floats, bools, None, else str."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _parse_models(text: str) -> List[ConsistencyModel]:
+    names = DEFAULT_MODELS if text == "all" else [
+        t.strip() for t in text.split(",") if t.strip()
+    ]
+    try:
+        return [ConsistencyModel(name) for name in names]
+    except ValueError as exc:
+        raise SystemExit(
+            f"{exc}; valid models: "
+            f"{', '.join(m.value for m in ConsistencyModel)}"
+        ) from None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run PIM consistency-model experiment sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    run = sub.add_parser("run", help="run a workload sweep")
+    run.add_argument("workload", help="registered workload name")
+    run.add_argument("--models", default="all",
+                     help="comma-separated consistency models, or 'all'")
+    run.add_argument("--num-scopes", default=None,
+                     help="comma-separated scope counts to sweep "
+                          "(default: 4; for tpch, the query's scaled "
+                          "scope count)")
+    run.add_argument("--param", action="append", default=[],
+                     metavar="KEY=VALUE", help="workload parameter")
+    run.add_argument("--preset", default="scaled",
+                     choices=("scaled", "paper"),
+                     help="base system configuration")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (>1 uses the process pool)")
+    run.add_argument("--max-events", type=int, default=200_000_000)
+    run.add_argument("--variant", default="cli")
+    return parser
+
+
+def _cmd_list() -> int:
+    descriptions = REGISTRY.describe()
+    width = max(len(name) for name in descriptions)
+    print("Registered workloads:")
+    for name, doc in descriptions.items():
+        print(f"  {name:<{width}}  {doc}")
+    return 0
+
+
+def _default_scopes(workload: str, params: Dict[str, object]) -> int:
+    """A scope count that actually fits the workload's parameters.
+
+    TPC-H queries pin their own scope need (Table IV x scale), so the
+    sweep must start there; everything else defaults to 4.
+    """
+    if workload == "tpch":
+        workload_obj = REGISTRY.create("tpch", params)
+        return workload_obj.scaled_scopes()
+    return 4
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.workload not in REGISTRY.names():
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; "
+            f"registered: {', '.join(REGISTRY.names())}"
+        )
+    models = _parse_models(args.models)
+    base_params = _parse_params(args.param)
+    try:
+        if args.num_scopes is not None:
+            scope_counts = [int(s) for s in args.num_scopes.split(",")
+                            if s.strip()]
+            if not scope_counts:
+                raise ValueError("--num-scopes is empty")
+        else:
+            scope_counts = [_default_scopes(args.workload, base_params)]
+
+        experiments = []
+        for num_scopes in scope_counts:
+            params = dict(base_params)
+            if args.workload == "ycsb" and "num_records" not in params:
+                params["num_records"] = YCSB_RECORDS_PER_SCOPE * num_scopes
+            for model in models:
+                experiments.append(Experiment.from_dict({
+                    "workload": args.workload,
+                    "params": params,
+                    "config": {"preset": args.preset, "model": model.value,
+                               "num_scopes": num_scopes},
+                    "variant": args.variant,
+                    "max_events": args.max_events,
+                }))
+        # Fail fast on bad workload parameters, before any simulation.
+        experiments[0].build_workload()
+    except (TypeError, KeyError, ValueError) as exc:
+        raise SystemExit(
+            f"invalid parameters for workload {args.workload!r}: {exc}"
+        ) from None
+
+    backend = backend_for(args.jobs)
+    print(f"{len(experiments)} experiments "
+          f"({len(models)} models x {len(scope_counts)} scope counts) "
+          f"on the {backend.name} backend")
+    results = Runner(backend=backend).run_all(experiments)
+
+    from repro.analysis.report import format_table
+    columns = ["workload", "scopes", "model", "run_time", "stale_reads",
+               "sb_hit_rate", "scan_latency", "pim_ops"]
+    rows = []
+    for exp, res in zip(experiments, results):
+        h = headline(res)
+        rows.append([
+            exp.workload, exp.config.num_scopes, h["model"], h["run_time"],
+            h["stale_reads"], f"{h['scope_buffer_hit_rate']:.3f}",
+            f"{h['llc_scan_latency']:.1f}", h["pim_ops_executed"],
+        ])
+    print(format_table(columns, rows, title=f"{args.workload} sweep"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Declarative experiment specs.
+
+An :class:`Experiment` is a frozen, hashable description of one
+simulation run: the system configuration, a workload *name* (resolved
+through the :mod:`repro.api.registry`), the workload's parameters, and a
+free-form variant tag.  Because the spec is plain data it can be
+
+* hashed (:meth:`Experiment.spec_hash`) -- the Runner's result cache and
+  the benchmark harness key on it;
+* pickled -- the process-pool backend ships specs, not live objects;
+* round-tripped through dicts (:meth:`from_dict` / :meth:`to_dict`) --
+  the CLI and future sweep files construct experiments declaratively.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.models import ConsistencyModel
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    NetworkConfig,
+    PimModuleConfig,
+    ScopeBufferConfig,
+    SystemConfig,
+)
+from repro.api.registry import REGISTRY
+
+#: Frozen parameter payload: sorted ``(key, value)`` pairs, nested
+#: mappings/sequences frozen recursively the same way.  Sequences
+#: canonicalize to tuples (thawing back to lists); mappings are tagged
+#: with :data:`_MAP` so a dict and a list of pairs stay distinguishable.
+FrozenParams = Tuple[Tuple[str, object], ...]
+
+_MAP = "__map__"
+
+
+def freeze_params(params: Optional[Mapping[str, object]]) -> FrozenParams:
+    """Canonicalize a parameter mapping into a hashable tuple form."""
+    if params is None:
+        return ()
+    return tuple(sorted((str(k), _freeze_value(v)) for k, v in params.items()))
+
+
+def _freeze_value(value):
+    if isinstance(value, Mapping):
+        return (_MAP, tuple(sorted(
+            (str(k), _freeze_value(v)) for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def _thaw_value(value):
+    if isinstance(value, tuple):
+        if len(value) == 2 and value[0] == _MAP and isinstance(value[1], tuple):
+            return {k: _thaw_value(v) for k, v in value[1]}
+        return [_thaw_value(v) for v in value]
+    return value
+
+
+_NESTED_CONFIG = {
+    "cores": CoreConfig,
+    "l1": CacheConfig,
+    "llc": CacheConfig,
+    "l1_scope_buffer": ScopeBufferConfig,
+    "llc_scope_buffer": ScopeBufferConfig,
+    "network": NetworkConfig,
+    "memory": MemoryConfig,
+    "pim": PimModuleConfig,
+}
+
+_CONFIG_PRESETS = {
+    "paper": SystemConfig.paper_default,
+    "scaled": SystemConfig.scaled_default,
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, object]:
+    """A JSON-safe dict that :func:`config_from_dict` restores exactly."""
+    data = asdict(config)
+    data["model"] = config.model.value
+    return data
+
+
+def config_from_dict(data) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a dict (or pass one through).
+
+    Two shapes are accepted:
+
+    * the full :func:`config_to_dict` form (every field present, nested
+      sections as complete dicts);
+    * a preset form, ``{"preset": "scaled"|"paper", ...overrides}``,
+      where nested sections may be *partial* dicts applied on top of the
+      preset (e.g. ``{"preset": "scaled", "pim": {"zero_logic": True}}``).
+    """
+    if isinstance(data, SystemConfig):
+        return data
+    data = dict(data)
+    preset = data.pop("preset", None)
+    model = data.pop("model", None)
+    if isinstance(model, str):
+        model = ConsistencyModel(model)
+
+    if preset is not None:
+        try:
+            factory = _CONFIG_PRESETS[preset]
+        except KeyError:
+            raise ValueError(
+                f"unknown config preset {preset!r}; "
+                f"expected one of {sorted(_CONFIG_PRESETS)}"
+            ) from None
+        base = factory()
+        if model is not None:
+            base = base.with_model(model)
+        for key, value in data.items():
+            if key in _NESTED_CONFIG and isinstance(value, Mapping):
+                value = replace(getattr(base, key), **value)
+            base = replace(base, **{key: value})
+        return base
+
+    for key, cls in _NESTED_CONFIG.items():
+        if key in data and isinstance(data[key], Mapping):
+            data[key] = cls(**data[key])
+    if model is not None:
+        data["model"] = model
+    return SystemConfig(**data)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One simulation run, described declaratively.
+
+    ``params`` may be passed as a plain dict; it is canonicalized into a
+    frozen tuple form so experiments are hashable and order-insensitive
+    in their parameters.
+    """
+
+    workload: str
+    config: SystemConfig
+    params: FrozenParams = field(default=())
+    variant: str = "base"
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", freeze_params(self.params))
+
+    # -- derived views --------------------------------------------------- #
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """The workload parameters as a plain (mutable) dict."""
+        return {k: _thaw_value(v) for k, v in self.params}
+
+    @property
+    def model(self) -> ConsistencyModel:
+        return self.config.model
+
+    def build_workload(self):
+        """Instantiate this spec's workload through the registry."""
+        return REGISTRY.create(self.workload, self.params_dict)
+
+    # -- identity --------------------------------------------------------- #
+
+    def spec_hash(self) -> str:
+        """A stable digest of the full spec (config + workload + params).
+
+        Equal experiments hash equally across processes and sessions, so
+        the digest keys the Runner's result cache and any on-disk cache a
+        later PR adds.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    # -- dict round trip -------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "config": config_to_dict(self.config),
+            "params": self.params_dict,
+            "variant": self.variant,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Experiment":
+        data = dict(data)
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown experiment keys: {sorted(unknown)}")
+        return cls(
+            workload=data["workload"],
+            config=config_from_dict(data.get("config", {"preset": "scaled"})),
+            params=freeze_params(data.get("params")),
+            variant=data.get("variant", "base"),
+            max_events=data.get("max_events"),
+        )
+
+    def with_model(self, model: ConsistencyModel) -> "Experiment":
+        """The same experiment under another consistency model."""
+        return replace(self, config=self.config.with_model(model))

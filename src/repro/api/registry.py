@@ -1,0 +1,97 @@
+"""Workload registry: instantiate workloads by name.
+
+Workload classes (subclasses of :class:`repro.workloads.base.Workload`)
+register themselves with :func:`register_workload`; an
+:class:`~repro.api.experiment.Experiment` then names its workload as a
+plain string and the registry builds the instance from the experiment's
+parameter dict -- so sweeps, caches and worker processes only ever carry
+declarative data, never live workload objects.
+
+The built-in workloads (``ycsb``, ``tpch``, ``litmus``) live in
+:mod:`repro.workloads` and are imported lazily on first lookup, keeping
+``import repro.api`` cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, TypeVar
+
+F = TypeVar("F", bound=type)
+
+
+class UnknownWorkloadError(KeyError):
+    """Raised when an experiment names a workload nobody registered."""
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return (f"unknown workload {self.name!r}; "
+                f"registered: {', '.join(self.known) or '(none)'}")
+
+
+class WorkloadRegistry:
+    """Name -> workload-class mapping with lazy built-in loading."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, type] = {}
+        self._builtins_loaded = False
+
+    def register(self, name: str, factory: type) -> None:
+        existing = self._factories.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(
+                f"workload {name!r} already registered to {existing!r}"
+            )
+        self._factories[name] = factory
+
+    def _ensure_builtins(self) -> None:
+        if not self._builtins_loaded:
+            self._builtins_loaded = True
+            # Importing the package runs the @register_workload decorators.
+            import repro.workloads  # noqa: F401
+
+    def get(self, name: str) -> type:
+        self._ensure_builtins()
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise UnknownWorkloadError(name, self.names()) from None
+
+    def create(self, name: str, params: Optional[Mapping[str, object]] = None):
+        """Instantiate the named workload from a plain parameter dict."""
+        factory = self.get(name)
+        kwargs = dict(params or {})
+        builder: Callable = getattr(factory, "from_params", factory)
+        return builder(**kwargs)
+
+    def names(self) -> List[str]:
+        self._ensure_builtins()
+        return sorted(self._factories)
+
+    def describe(self) -> Dict[str, str]:
+        """Name -> first docstring line, for ``repro-bench list``."""
+        self._ensure_builtins()
+        return {
+            name: (cls.__doc__ or "").strip().splitlines()[0]
+            if cls.__doc__ else ""
+            for name, cls in sorted(self._factories.items())
+        }
+
+
+#: The process-wide registry every Experiment resolves against.
+REGISTRY = WorkloadRegistry()
+
+
+def register_workload(cls: F) -> F:
+    """Class decorator: register a Workload under its ``name`` attribute."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise TypeError(
+            f"@register_workload needs a non-empty class attribute 'name' "
+            f"on {cls!r}"
+        )
+    REGISTRY.register(name, cls)
+    return cls

@@ -1,0 +1,37 @@
+"""Typed result access for the experiment API.
+
+:class:`~repro.sim.stats.StatsView` (re-exported here) is the attribute
+namespace over one component's statistics snapshot --
+``result.llc.hit_rate``, ``result.pim.ops_executed``,
+``result.core(0).pim_ops`` -- replacing the old string-keyed
+``stats["llc"]["hit_rate"]`` plumbing.  The views live on
+:class:`~repro.system.simulation.SimulationResult`, whose legacy
+``stats`` dict and headline properties remain as thin shims.
+
+:func:`headline` flattens one result into the figure-ready scalars the
+CLI and reports print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.stats import StatsView
+from repro.system.simulation import SimulationResult
+
+__all__ = ["StatsView", "SimulationResult", "headline"]
+
+
+def headline(result: SimulationResult) -> Dict[str, object]:
+    """The paper's headline scalars for one run, as a flat dict."""
+    return {
+        "model": result.model_name,
+        "run_time": result.run_time,
+        "stale_reads": result.stale_reads,
+        "pim_ops_executed": result.pim_ops_executed,
+        "scope_buffer_hit_rate": result.llc.hit_rate,
+        "llc_scan_latency": result.llc.scan_latency,
+        "sbv_skip_ratio": result.llc.skipped_set_ratio,
+        "pim_buffer_mean_len": result.pim.buffer_len_at_arrival,
+        "events": result.events,
+    }

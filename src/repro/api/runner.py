@@ -1,0 +1,78 @@
+"""The Runner: cached, backend-pluggable experiment execution.
+
+``Runner(backend=ProcessPoolBackend()).run_all(experiments)`` is the
+canonical way to run a sweep.  The Runner keys completed results on each
+experiment's :meth:`~repro.api.experiment.Experiment.spec_hash`, so
+
+* repeated points inside one sweep run once (several figures share the
+  same YCSB sweep);
+* repeated sweeps across a session hit the cache (this replaces the
+  benchmark harness's old hand-rolled memo dict);
+* the backend only ever sees the cache misses, in input order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.api.backends import ExecutionBackend, SerialBackend
+from repro.api.experiment import Experiment
+from repro.system.simulation import SimulationResult
+
+
+class Runner:
+    """Execute experiment specs through a backend, caching by spec hash.
+
+    Args:
+        backend: execution strategy; defaults to :class:`SerialBackend`.
+        cache: keep completed results keyed by spec hash.  Disable for
+            memory-constrained bulk sweeps whose results are consumed
+            immediately.
+    """
+
+    def __init__(self, backend: Optional[ExecutionBackend] = None,
+                 cache: bool = True) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self._cache: Optional[Dict[str, SimulationResult]] = {} if cache else None
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, experiment: Experiment) -> SimulationResult:
+        """Run (or fetch from cache) a single experiment."""
+        return self.run_all([experiment])[0]
+
+    def run_all(self, experiments: Iterable[Experiment]) -> List[SimulationResult]:
+        """Run a sweep; results align with the input order.
+
+        Cache hits are served without touching the backend; duplicate
+        specs within the sweep execute once.
+        """
+        experiments = list(experiments)
+        hashes = [e.spec_hash() for e in experiments]
+        # With caching off, memoize into a throwaway dict: the batch still
+        # dedupes, but nothing persists across calls.
+        memo = self._cache if self._cache is not None else {}
+        missing: Dict[str, Experiment] = {}
+        for h, e in zip(hashes, experiments):
+            if h not in memo:
+                missing.setdefault(h, e)
+        if missing:
+            results = self.backend.run_all(list(missing.values()))
+            memo.update(zip(missing.keys(), results))
+        return [memo[h] for h in hashes]
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache) if self._cache is not None else 0
+
+    def cached(self, experiment: Experiment) -> Optional[SimulationResult]:
+        """The cached result for a spec, or ``None``."""
+        if self._cache is None:
+            return None
+        return self._cache.get(experiment.spec_hash())
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()

@@ -86,6 +86,51 @@ class RatioStat:
         return f"RatioStat({self.name}={self.ratio:.4f})"
 
 
+class StatsView:
+    """Read-only attribute namespace over one component's stats snapshot.
+
+    ``view.hit_rate`` is ``snapshot["hit_rate"]``; a statistic the run
+    never recorded reads as ``0.0`` (a component that never sampled a
+    stat and a component whose stat is zero are indistinguishable in
+    every figure, so the fallback keeps sweep code branch-free).
+
+    >>> v = StatsView("llc", {"hit_rate": 0.75})
+    >>> v.hit_rate
+    0.75
+    >>> v.scan_latency
+    0.0
+    """
+
+    __slots__ = ("_name", "_data")
+
+    def __init__(self, name: str, data: Union[Dict[str, Number], None] = None) -> None:
+        self._name = name
+        self._data = data if data is not None else {}
+
+    def __getattr__(self, key: str) -> Number:
+        if key.startswith("_"):
+            raise AttributeError(key)
+        return self._data.get(key, 0.0)
+
+    def get(self, key: str, default: Number = 0.0) -> Number:
+        return self._data.get(key, default)
+
+    def as_dict(self) -> Dict[str, Number]:
+        return dict(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsView({self._name}: {len(self._data)} stats)"
+
+
 class StatGroup:
     """A named bag of statistics, one per component, snapshot-able.
 

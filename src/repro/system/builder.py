@@ -111,6 +111,7 @@ class System:
         self.entry_points: List[EntryPoint] = []
         self.cores: List[Core] = []
         self.barrier: Optional[Barrier] = None
+        self._active_cores: List[Core] = []
         for core_id in range(config.cores.num_cores):
             l1 = L1Cache(
                 self.sim, f"l1.{core_id}", core_id, config.l1,
@@ -195,6 +196,10 @@ class System:
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run to completion of all loaded programs; returns the cycle."""
+        if not self._active_cores:
+            raise RuntimeError(
+                "no programs loaded: call load_programs() before run()"
+            )
         active = self._active_cores
         self.sim.run(
             max_events=max_events,

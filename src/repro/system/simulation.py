@@ -8,20 +8,39 @@ A *workload* object must provide::
 :class:`SimulationResult` holding the run time and every statistic the
 evaluation figures need (scope-buffer hit rate, LLC scan latency, SBV
 skip ratio, PIM buffer occupancy, stale reads, ...).
+
+.. note::
+   :mod:`repro.api` is the canonical front door for running experiments:
+   ``Runner().run(Experiment(...))`` replaces direct ``run_workload``
+   calls and adds workload registration, spec-hash caching and parallel
+   backends.  ``run_workload`` remains as the single-run engine the
+   backends execute (and as a compatibility shim for older callers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.sim.config import SystemConfig
+from repro.sim.stats import StatsView
 from repro.system.builder import System
 
 
 @dataclass
 class SimulationResult:
-    """Everything a benchmark needs from one simulation run."""
+    """Everything a benchmark needs from one simulation run.
+
+    Statistics are exposed two ways:
+
+    * **typed views** -- ``result.llc``, ``result.pim``, ``result.mc``
+      and the per-core/per-L1 accessors return :class:`StatsView`
+      namespaces (``result.llc.hit_rate``, ``result.pim.ops_executed``,
+      ``result.core(0).pim_ops``); a statistic or component the run
+      never recorded reads as ``0.0``;
+    * **the raw dict** -- ``result.stats`` keeps the string-keyed
+      snapshot for serialization and older callers.
+    """
 
     config: SystemConfig
     run_time: int
@@ -33,36 +52,67 @@ class SimulationResult:
     def model_name(self) -> str:
         return self.config.model.value
 
-    # -- the paper's headline statistics -------------------------------- #
+    # -- typed stat views ------------------------------------------------ #
+
+    def group(self, name: str) -> StatsView:
+        """The named component's statistics (empty view if absent)."""
+        return StatsView(name, self.stats.get(name))
+
+    @property
+    def llc(self) -> StatsView:
+        return self.group("llc")
+
+    @property
+    def mc(self) -> StatsView:
+        return self.group("mc")
+
+    @property
+    def pim(self) -> StatsView:
+        return self.group("pim")
+
+    def core(self, core_id: int) -> StatsView:
+        return self.group(f"core.{core_id}")
+
+    def l1(self, core_id: int) -> StatsView:
+        return self.group(f"l1.{core_id}")
+
+    @property
+    def cores(self) -> List[StatsView]:
+        """Per-core views, ordered by core id."""
+        ids = sorted(int(name.split(".", 1)[1]) for name in self.stats
+                     if name.startswith("core."))
+        return [self.core(i) for i in ids]
+
+    # -- the paper's headline statistics (shims over the typed views) --- #
 
     @property
     def scope_buffer_hit_rate(self) -> float:
         """Fig. 9: LLC scope-buffer hit rate."""
-        return self.stats["llc"].get("hit_rate", 0.0)
+        return self.llc.hit_rate
 
     @property
     def llc_scan_latency(self) -> float:
         """Fig. 10c: mean LLC scan latency (scope-buffer hits count as 0)."""
-        return self.stats["llc"].get("scan_latency", 0.0)
+        return self.llc.scan_latency
 
     @property
     def sbv_skip_ratio(self) -> float:
         """Fig. 10d: mean ratio of LLC sets skipped during a scan."""
-        return self.stats["llc"].get("skipped_set_ratio", 0.0)
+        return self.llc.skipped_set_ratio
 
     @property
     def pim_buffer_mean_len(self) -> float:
         """Fig. 10a: mean PIM-module buffer length at op arrival."""
-        return self.stats["pim"].get("buffer_len_at_arrival", 0.0)
+        return self.pim.buffer_len_at_arrival
 
     @property
     def pim_unique_scopes(self) -> float:
         """Fig. 10b: mean unique scopes in the PIM buffer at op arrival."""
-        return self.stats["pim"].get("unique_scopes_at_arrival", 0.0)
+        return self.pim.unique_scopes_at_arrival
 
     @property
     def pim_ops_executed(self) -> int:
-        return int(self.stats["pim"].get("ops_executed", 0))
+        return int(self.pim.ops_executed)
 
 
 def run_workload(

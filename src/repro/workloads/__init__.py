@@ -1,23 +1,33 @@
 """Workload generators: YCSB short-range scan and TPC-H (Sections VI-B).
 
 * :mod:`repro.workloads.zipf` -- the YCSB Zipfian key-popularity generator.
-* :mod:`repro.workloads.base` -- model-aware program-emission helpers
-  shared by all database workloads (fence/flush insertion per model).
+* :mod:`repro.workloads.base` -- the :class:`Workload` ABC plus the
+  model-aware program-emission helpers shared by all database workloads
+  (fence/flush insertion per model).
 * :mod:`repro.workloads.ycsb` -- Table III: 1000 operations, 95% scans /
   5% inserts, Zipfian scan base, uniform[1,100] result counts.
 * :mod:`repro.workloads.tpch` -- Table IV: the 19 evaluated queries with
   their scope counts and PIM-section types.
+* :mod:`repro.workloads.litmus` -- the Fig. 1 pattern as a timing
+  workload.
+
+Importing this package registers the built-in workloads (``ycsb``,
+``tpch``, ``litmus``) with :mod:`repro.api`'s registry.
 """
 
+from repro.workloads.base import Workload
 from repro.workloads.zipf import ZipfianGenerator
 from repro.workloads.ycsb import YcsbParams, YcsbWorkload
 from repro.workloads.tpch import TPCH_QUERIES, TpchQuerySpec, TpchWorkload
+from repro.workloads.litmus import LitmusWorkload
 
 __all__ = [
+    "Workload",
     "ZipfianGenerator",
     "YcsbParams",
     "YcsbWorkload",
     "TPCH_QUERIES",
     "TpchQuerySpec",
     "TpchWorkload",
+    "LitmusWorkload",
 ]

@@ -1,7 +1,10 @@
 """Shared machinery for compiling database workloads into thread programs.
 
-Two pieces live here:
+Three pieces live here:
 
+* :class:`Workload` -- the ABC every runnable workload implements
+  (``name`` / ``params`` / ``compile(system)``); the experiment API
+  (:mod:`repro.api`) instantiates registered subclasses by name.
 * :class:`DatabaseLayout` -- the byte-address layout of a multi-scope
   database (mirroring :class:`repro.pim.database.PimDatabase`'s placement:
   round-robin records, result bitmaps at the top of each scope) without
@@ -15,13 +18,48 @@ Two pieces live here:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import abc
+from typing import ClassVar, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.models import ConsistencyModel
 from repro.core.scope import ScopeMap
 from repro.host.program import ThreadOp, ThreadProgram
 from repro.pim.database import RecordSchema
 from repro.system.builder import System
+
+
+class Workload(abc.ABC):
+    """A runnable workload: a named, parameterized program generator.
+
+    Subclasses declare a class-level ``name`` (the registry key used by
+    :func:`repro.api.register_workload` and ``Experiment.workload``),
+    expose their defining parameters as a plain dict, and compile to one
+    :class:`~repro.host.program.ThreadProgram` per worker thread.  The
+    contract: ``cls.from_params(**workload.params)`` rebuilds an
+    equivalent workload, which is what lets experiment specs stay pure
+    data across cache keys and process boundaries.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    @property
+    @abc.abstractmethod
+    def params(self) -> Dict[str, object]:
+        """The constructor parameters, as a plain JSON-safe dict."""
+
+    @abc.abstractmethod
+    def compile(self, system: System) -> List[ThreadProgram]:
+        """Emit one program per thread for ``system``'s model and layout."""
+
+    @classmethod
+    def from_params(cls, **params) -> "Workload":
+        """Rebuild a workload from its :attr:`params` dict."""
+        return cls(**params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
 
 
 class DatabaseLayout:

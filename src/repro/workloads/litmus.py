@@ -1,0 +1,79 @@
+"""The Fig. 1 litmus pattern as a runnable timing workload.
+
+:mod:`repro.core.litmus` model-checks the Fig. 1 interleavings on an
+abstract machine; this module runs the *same access pattern* -- write
+into a scope, issue a PIM op that rewrites the scope's result line, read
+the result back -- on the full timing simulator, one scope per thread,
+for a configurable number of rounds.
+
+The result reads carry stale-read expectations, so the workload is a
+minimal end-to-end probe of a consistency model: the proposed models
+finish with ``stale_reads == 0`` while the Naive baseline re-reads the
+cached pre-PIM result line and reports stale reads.  Registered as
+``litmus`` so ``Experiment(workload="litmus", ...)`` (and the
+``repro-bench`` CLI) can run it by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api.registry import register_workload
+from repro.host.program import ThreadProgram
+from repro.system.builder import System
+from repro.workloads.base import ProgramEmitter, Workload
+
+
+@register_workload
+class LitmusWorkload(Workload):
+    """Write / PIM-op / read-result rounds, one scope per thread.
+
+    Args:
+        rounds: write->PIM->read iterations per thread.  From round two
+            on, a model without a coherency guarantee serves the result
+            read from the copy cached in round one -- the Fig. 1 stale
+            read, now on the timing stack.
+        threads: worker threads; thread ``t`` owns scope ``t``.
+    """
+
+    name = "litmus"
+
+    def __init__(self, rounds: int = 4, threads: int = 2) -> None:
+        if rounds < 1 or threads < 1:
+            raise ValueError("rounds and threads must be >= 1")
+        self.rounds = rounds
+        self.threads = threads
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return {"rounds": self.rounds, "threads": self.threads}
+
+    def compile(self, system: System) -> List[ThreadProgram]:
+        if system.config.num_scopes < self.threads:
+            raise ValueError(
+                f"litmus needs one scope per thread: "
+                f"{self.threads} threads, {system.config.num_scopes} scopes"
+            )
+        line_bytes = system.config.llc.line_bytes
+        counts: Dict[int, int] = {}
+        emitters = [
+            ProgramEmitter(system, f"litmus.t{t}", counts)
+            for t in range(self.threads)
+        ]
+        for sid in range(self.threads):
+            scope = system.scope_map.scope(sid)
+            system.register_pim_result_lines(sid, [scope.base])
+        for _ in range(self.rounds):
+            for sid, em in enumerate(emitters):
+                scope = system.scope_map.scope(sid)
+                result_line = scope.base
+                data_line = scope.base + line_bytes
+                # Fig. 1's thread 0: write into the scope, then compute.
+                em.store(data_line)
+                em.pim_group(sid, 1,
+                             sw_flush_lines=[result_line, data_line])
+                # Fig. 1's reader: the result must reflect the PIM op.
+                em.load(result_line, expect_version=counts[sid])
+        for em in emitters:
+            em.barrier()  # join: run time is the slowest thread's finish
+        return [em.program for em in emitters]

@@ -27,12 +27,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.api.registry import register_workload
 from repro.pim.database import FieldSpec, RecordSchema
 from repro.pim.latency import scan_op_latency
 from repro.system.builder import System
 from repro.workloads.base import (
     DatabaseLayout,
     ProgramEmitter,
+    Workload,
     partition_scopes,
     scaled_pim_latency,
 )
@@ -100,8 +102,11 @@ def tpch_schema() -> RecordSchema:
     return RecordSchema(key_bits=32, fields=fields)
 
 
-class TpchWorkload:
+@register_workload
+class TpchWorkload(Workload):
     """Compiles one TPC-H query's PIM section (x10 runs)."""
+
+    name = "tpch"
 
     def __init__(self, query: str, scale: float = 1.0, runs: int = 10,
                  threads: int = 4) -> None:
@@ -111,6 +116,11 @@ class TpchWorkload:
         self.scale = scale
         self.runs = runs
         self.threads = threads
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return {"query": self.spec.name, "scale": self.scale,
+                "runs": self.runs, "threads": self.threads}
 
     def scaled_scopes(self) -> int:
         """The scope count after scaling (at least one per thread)."""

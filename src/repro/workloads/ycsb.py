@@ -22,15 +22,17 @@ load, so a run doubles as a correctness check of the consistency model.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.registry import register_workload
 from repro.pim.database import RecordSchema
 from repro.pim.latency import PimLatencyModel, scan_op_latency
 from repro.system.builder import System
 from repro.workloads.base import (
     DatabaseLayout,
     ProgramEmitter,
+    Workload,
     partition_scopes,
     scaled_pim_latency,
 )
@@ -63,13 +65,24 @@ class YcsbParams:
     sync_per_op: bool = False
 
 
-class YcsbWorkload:
+@register_workload
+class YcsbWorkload(Workload):
     """Compiles the YCSB operation stream for a given system/model."""
 
+    name = "ycsb"
+
     def __init__(self, params: YcsbParams) -> None:
-        self.params = params
+        self.spec = params
         self.schema = RecordSchema.ycsb(params.num_fields, params.field_bytes)
         self._operations: Optional[List[Tuple]] = None
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return asdict(self.spec)
+
+    @classmethod
+    def from_params(cls, **params) -> "YcsbWorkload":
+        return cls(YcsbParams(**params))
 
     # ------------------------------------------------------------------ #
     # deterministic operation stream (shared by every model's compile)
@@ -79,7 +92,7 @@ class YcsbWorkload:
         """The seeded operation trace: ('scan', lo, hi) | ('insert', row)."""
         if self._operations is not None:
             return self._operations
-        p = self.params
+        p = self.spec
         rng = random.Random(p.seed)
         zipf = ZipfianGenerator(p.num_records, seed=p.seed + 1)
         ops: List[Tuple] = []
@@ -97,7 +110,7 @@ class YcsbWorkload:
 
     def required_scopes(self, records_per_scope: int) -> int:
         """Scopes needed to hold the initial records plus inserts."""
-        p = self.params
+        p = self.spec
         inserts = sum(1 for op in self.operations() if op[0] == "insert")
         return -(-(p.num_records + inserts) // records_per_scope)
 
@@ -115,7 +128,7 @@ class YcsbWorkload:
         return scan_op_latency(self.schema, latency_model)
 
     def compile(self, system: System):
-        p = self.params
+        p = self.spec
         layout = DatabaseLayout(
             system.scope_map, self.schema, system.config.records_per_scope
         )

@@ -1,0 +1,67 @@
+"""Execution backends: serial/process-pool equivalence and determinism."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.api import (
+    Experiment,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_experiment,
+)
+from repro.core.models import ConsistencyModel
+from repro.sim.config import SystemConfig
+from repro.workloads.ycsb import YcsbParams
+
+PARAMS = YcsbParams(num_records=8000, num_ops=6, threads=4, seed=11)
+
+
+def _experiments():
+    return [
+        Experiment(
+            workload="ycsb",
+            config=SystemConfig.scaled_default(model=model, num_scopes=4),
+            params=asdict(PARAMS),
+            max_events=50_000_000,
+        )
+        for model in (ConsistencyModel.NAIVE, ConsistencyModel.ATOMIC,
+                      ConsistencyModel.SCOPE)
+    ]
+
+
+def test_process_pool_matches_serial_exactly():
+    """Simulations are deterministic and share nothing, so fanning a
+    sweep over worker processes must not change a single statistic."""
+    exps = _experiments()
+    serial = SerialBackend().run_all(exps)
+    pooled = ProcessPoolBackend(jobs=2).run_all(exps)
+    assert len(pooled) == len(serial) == len(exps)
+    for s, p, exp in zip(serial, pooled, exps):
+        assert p.config == exp.config  # order preserved
+        assert p.run_time == s.run_time
+        assert p.stale_reads == s.stale_reads
+        assert p.events == s.events
+        assert p.stats == s.stats
+
+
+def test_process_pool_single_job_falls_back_to_serial():
+    exps = _experiments()[:1]
+    assert (ProcessPoolBackend(jobs=1).run_all(exps)[0].run_time
+            == execute_experiment(exps[0]).run_time)
+
+
+def test_process_pool_rejects_bad_job_count():
+    with pytest.raises(ValueError):
+        ProcessPoolBackend(jobs=0)
+
+
+def test_experiments_and_results_are_picklable():
+    import pickle
+
+    exp = _experiments()[0]
+    assert pickle.loads(pickle.dumps(exp)) == exp
+    result = execute_experiment(exp)
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.run_time == result.run_time
+    assert clone.stats == result.stats

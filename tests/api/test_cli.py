@@ -1,0 +1,77 @@
+"""The repro-bench CLI: workload listing and small end-to-end sweeps."""
+
+import pytest
+
+from repro.api.cli import _default_scopes, _parse_models, _parse_params, main
+from repro.core.models import ConsistencyModel
+from repro.workloads.tpch import TpchWorkload
+
+
+def test_list_names_registered_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ycsb", "tpch", "litmus"):
+        assert name in out
+
+
+def test_run_litmus_sweep_end_to_end(capsys):
+    assert main([
+        "run", "litmus", "--models", "naive,atomic", "--num-scopes", "2",
+        "--param", "rounds=3", "--param", "threads=2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "litmus sweep" in out
+    assert "naive" in out and "atomic" in out
+    # the atomic row reports zero stale reads; naive reports some
+    rows = {cells[2]: cells for cells in
+            (line.split() for line in out.splitlines())
+            if len(cells) >= 8 and cells[0] == "litmus"}
+    assert int(rows["atomic"][4]) == 0
+    assert int(rows["naive"][4]) > 0
+
+
+def test_run_with_jobs_uses_process_pool(capsys):
+    assert main([
+        "run", "litmus", "--models", "naive,atomic", "--num-scopes", "2",
+        "--jobs", "2", "--param", "rounds=2",
+    ]) == 0
+    assert "process-pool backend" in capsys.readouterr().out
+
+
+def test_default_scopes_fit_the_tpch_query():
+    """Without --num-scopes, a tpch run must size the system to the
+    query instead of crashing on the generic default."""
+    params = {"query": "q6", "scale": 1 / 64}
+    assert (_default_scopes("tpch", params)
+            == TpchWorkload("q6", scale=1 / 64).scaled_scopes())
+    assert _default_scopes("ycsb", {}) == 4
+
+
+def test_unknown_workload_exits_cleanly(capsys):
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["run", "nonesuch"])
+
+
+def test_bad_workload_params_exit_cleanly():
+    """Missing or invalid workload params must not traceback."""
+    with pytest.raises(SystemExit, match="invalid parameters"):
+        main(["run", "tpch"])  # tpch requires --param query=...
+    with pytest.raises(SystemExit, match="not evaluated"):
+        main(["run", "tpch", "--param", "query=q99"])
+
+
+def test_parse_models():
+    assert _parse_models("atomic,scope") == [ConsistencyModel.ATOMIC,
+                                             ConsistencyModel.SCOPE]
+    assert len(_parse_models("all")) == 6
+    with pytest.raises(SystemExit, match="valid models"):
+        _parse_models("warp-drive")
+
+
+def test_parse_params_literals_and_strings():
+    params = _parse_params(["num_ops=30", "scale=0.5", "query=q6",
+                            "sync_per_op=True"])
+    assert params == {"num_ops": 30, "scale": 0.5, "query": "q6",
+                      "sync_per_op": True}
+    with pytest.raises(SystemExit, match="key=value"):
+        _parse_params(["oops"])

@@ -1,0 +1,140 @@
+"""Experiment specs: freezing, hashing, dict round trips, registry."""
+
+import pytest
+
+from repro.api import (
+    Experiment,
+    REGISTRY,
+    UnknownWorkloadError,
+    config_from_dict,
+    config_to_dict,
+    freeze_params,
+)
+from repro.core.models import ConsistencyModel
+from repro.sim.config import SystemConfig
+from repro.workloads.litmus import LitmusWorkload
+from repro.workloads.tpch import TpchWorkload
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def _exp(**overrides):
+    base = dict(
+        workload="ycsb",
+        config=SystemConfig.scaled_default(num_scopes=4),
+        params={"num_records": 8000, "num_ops": 10},
+    )
+    base.update(overrides)
+    return Experiment(**base)
+
+
+def test_experiment_is_frozen_and_hashable():
+    exp = _exp()
+    assert hash(exp) == hash(_exp())
+    with pytest.raises(AttributeError):
+        exp.variant = "other"
+
+
+def test_params_given_as_dict_are_canonicalized():
+    a = Experiment(workload="ycsb",
+                   config=SystemConfig.scaled_default(num_scopes=4),
+                   params={"num_ops": 10, "num_records": 8000})
+    b = Experiment(workload="ycsb",
+                   config=SystemConfig.scaled_default(num_scopes=4),
+                   params={"num_records": 8000, "num_ops": 10})
+    assert a == b
+    assert a.spec_hash() == b.spec_hash()
+    assert a.params_dict == {"num_records": 8000, "num_ops": 10}
+
+
+def test_freeze_params_handles_nesting():
+    frozen = freeze_params({"a": [1, 2], "b": {"y": 2, "x": 1}})
+    assert frozen == (("a", (1, 2)),
+                      ("b", ("__map__", (("x", 1), ("y", 2)))))
+
+
+def test_params_round_trip_distinguishes_dicts_from_pair_lists():
+    exp = _exp(params={"pairs": [("name", 8), ("age", 4)],
+                       "mapping": {"name": 8, "age": 4}})
+    thawed = exp.params_dict
+    assert thawed["pairs"] == [["name", 8], ["age", 4]]  # sequence stays one
+    assert thawed["mapping"] == {"name": 8, "age": 4}
+    clone = Experiment.from_dict(exp.to_dict())
+    assert clone.spec_hash() == exp.spec_hash()
+
+
+def test_spec_hash_distinguishes_every_spec_field():
+    exp = _exp()
+    assert exp.spec_hash() != _exp(workload="tpch").spec_hash()
+    assert exp.spec_hash() != _exp(variant="other").spec_hash()
+    assert exp.spec_hash() != _exp(max_events=1).spec_hash()
+    assert exp.spec_hash() != _exp(
+        params={"num_records": 8000, "num_ops": 11}).spec_hash()
+    assert exp.spec_hash() != exp.with_model(
+        ConsistencyModel.SCOPE).spec_hash()
+
+
+def test_dict_round_trip_is_exact():
+    exp = _exp(variant="tagged", max_events=123)
+    clone = Experiment.from_dict(exp.to_dict())
+    assert clone == exp
+    assert clone.spec_hash() == exp.spec_hash()
+
+
+def test_config_dict_round_trip():
+    cfg = SystemConfig.scaled_default(model=ConsistencyModel.SCOPE,
+                                      num_scopes=8)
+    assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+def test_config_preset_with_partial_nested_overrides():
+    cfg = config_from_dict({
+        "preset": "scaled", "model": "atomic", "num_scopes": 8,
+        "pim": {"zero_logic": True},
+    })
+    base = SystemConfig.scaled_default(model=ConsistencyModel.ATOMIC,
+                                       num_scopes=8)
+    assert cfg.pim.zero_logic is True
+    assert cfg.pim.buffer_capacity == base.pim.buffer_capacity
+    assert cfg.llc == base.llc
+
+
+def test_config_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="preset"):
+        config_from_dict({"preset": "gigantic"})
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown experiment keys"):
+        Experiment.from_dict({"workload": "ycsb", "workload_params": {}})
+
+
+def test_registry_lists_builtin_workloads():
+    assert {"ycsb", "tpch", "litmus"} <= set(REGISTRY.names())
+
+
+@pytest.mark.parametrize("workload,params,cls", [
+    ("ycsb", {"num_records": 8000, "num_ops": 10}, YcsbWorkload),
+    ("tpch", {"query": "q6", "scale": 1 / 64, "runs": 1}, TpchWorkload),
+    ("litmus", {"rounds": 2, "threads": 2}, LitmusWorkload),
+])
+def test_registry_round_trip(workload, params, cls):
+    """from_dict -> build_workload -> params reproduces the spec."""
+    exp = Experiment.from_dict({
+        "workload": workload,
+        "params": params,
+        "config": {"preset": "scaled", "model": "atomic", "num_scopes": 4},
+    })
+    built = exp.build_workload()
+    assert isinstance(built, cls)
+    assert built.name == workload
+    for key, value in params.items():
+        assert built.params[key] == value
+    # the workload's full params rebuild an equivalent workload
+    again = cls.from_params(**built.params)
+    assert again.params == built.params
+
+
+def test_unknown_workload_error_names_known_ones():
+    exp = _exp(workload="nonesuch")
+    with pytest.raises(UnknownWorkloadError, match="ycsb"):
+        exp.build_workload()

@@ -1,0 +1,73 @@
+"""Typed stat views and the hardened SimulationResult properties."""
+
+import pytest
+
+from repro.api import StatsView, headline
+from repro.sim.config import SystemConfig
+from repro.system.simulation import SimulationResult
+
+
+def _result(stats=None):
+    return SimulationResult(config=SystemConfig.scaled_default(),
+                            run_time=100, stats=stats or {})
+
+
+def test_stats_view_attribute_access():
+    view = StatsView("llc", {"hit_rate": 0.75, "scans": 4})
+    assert view.hit_rate == 0.75
+    assert view.scans == 4
+    assert view.missing_stat == 0.0
+    assert view.get("scans") == 4
+    assert "hit_rate" in view and "nope" not in view
+    assert view.as_dict() == {"hit_rate": 0.75, "scans": 4}
+    assert bool(view) and not bool(StatsView("empty"))
+
+
+def test_headline_properties_survive_missing_stat_groups():
+    """A run whose snapshot lacks 'llc'/'pim' groups (e.g. a truncated or
+    synthetic result) must read as zeros, not raise KeyError."""
+    res = _result(stats={})
+    assert res.scope_buffer_hit_rate == 0.0
+    assert res.llc_scan_latency == 0.0
+    assert res.sbv_skip_ratio == 0.0
+    assert res.pim_buffer_mean_len == 0.0
+    assert res.pim_unique_scopes == 0.0
+    assert res.pim_ops_executed == 0
+    assert res.cores == []
+
+
+def test_typed_views_match_legacy_dict_plumbing():
+    stats = {
+        "llc": {"hit_rate": 0.5, "scan_latency": 3.0,
+                "skipped_set_ratio": 0.9},
+        "pim": {"ops_executed": 7, "buffer_len_at_arrival": 1.5},
+        "mc": {"requests": 11},
+        "core.0": {"pim_ops": 3},
+        "core.1": {"pim_ops": 4},
+        "l1.0": {"hits": 9},
+    }
+    res = _result(stats=stats)
+    assert res.llc.hit_rate == res.stats["llc"]["hit_rate"]
+    assert res.pim.ops_executed == res.stats["pim"]["ops_executed"]
+    assert res.mc.requests == 11
+    assert res.core(0).pim_ops == 3
+    assert res.l1(0).hits == 9
+    assert [c.pim_ops for c in res.cores] == [3, 4]
+    # legacy shims agree with the typed views
+    assert res.scope_buffer_hit_rate == res.llc.hit_rate
+    assert res.pim_buffer_mean_len == res.pim.buffer_len_at_arrival
+
+
+def test_headline_summary_flattens_a_result():
+    res = _result(stats={"llc": {"hit_rate": 0.5}, "pim": {"ops_executed": 2}})
+    summary = headline(res)
+    assert summary["run_time"] == 100
+    assert summary["scope_buffer_hit_rate"] == 0.5
+    assert summary["pim_ops_executed"] == 2
+    assert summary["model"] == res.model_name
+
+
+def test_stats_view_rejects_private_names():
+    view = StatsView("x", {"_secret": 1})
+    with pytest.raises(AttributeError):
+        view._secret

@@ -1,0 +1,111 @@
+"""Runner semantics: parity with the legacy path, caching, dedup."""
+
+from dataclasses import asdict
+from typing import List, Sequence
+
+import pytest
+
+from repro.api import Experiment, Runner, SerialBackend
+from repro.core.models import ConsistencyModel
+from repro.sim.config import SystemConfig
+from repro.system.simulation import run_workload
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+#: Small fixed-seed YCSB point; every model finishes in well under a second.
+PARAMS = YcsbParams(num_records=8000, num_ops=10, threads=4, seed=11)
+NUM_SCOPES = 4
+MAX_EVENTS = 50_000_000
+
+#: "All six consistency models" of the evaluation sweeps (Figs. 7-13).
+SIX_MODELS = [
+    ConsistencyModel.NAIVE,
+    ConsistencyModel.SW_FLUSH,
+    ConsistencyModel.ATOMIC,
+    ConsistencyModel.STORE,
+    ConsistencyModel.SCOPE,
+    ConsistencyModel.SCOPE_RELAXED,
+]
+
+
+def _experiment(model: ConsistencyModel) -> Experiment:
+    return Experiment(
+        workload="ycsb",
+        config=SystemConfig.scaled_default(model=model,
+                                           num_scopes=NUM_SCOPES),
+        params=asdict(PARAMS),
+        max_events=MAX_EVENTS,
+    )
+
+
+@pytest.mark.parametrize("model", SIX_MODELS,
+                         ids=[m.value for m in SIX_MODELS])
+def test_runner_reproduces_legacy_run_workload(model):
+    """The redesign is a pure re-plumbing: for a fixed seed, the
+    Experiment/Runner path must match the legacy run_workload output
+    exactly -- run time, stale reads, and every stat group."""
+    cfg = SystemConfig.scaled_default(model=model, num_scopes=NUM_SCOPES)
+    legacy = run_workload(cfg, YcsbWorkload(PARAMS), max_events=MAX_EVENTS)
+    new = Runner().run(_experiment(model))
+    assert new.run_time == legacy.run_time
+    assert new.stale_reads == legacy.stale_reads
+    assert new.events == legacy.events
+    assert new.stats == legacy.stats
+    assert new.config == legacy.config
+
+
+class _CountingBackend(SerialBackend):
+    """Serial execution that records how many specs it actually ran."""
+
+    def __init__(self) -> None:
+        self.executed: List[str] = []
+
+    def run_all(self, experiments: Sequence[Experiment]):
+        self.executed.extend(e.spec_hash() for e in experiments)
+        return super().run_all(experiments)
+
+
+def test_cache_serves_repeated_specs_without_resimulating():
+    backend = _CountingBackend()
+    runner = Runner(backend=backend)
+    exp = _experiment(ConsistencyModel.ATOMIC)
+    first = runner.run(exp)
+    second = runner.run(_experiment(ConsistencyModel.ATOMIC))
+    assert first is second  # cache hit returns the same snapshot
+    assert len(backend.executed) == 1
+    assert runner.cache_size == 1
+    assert runner.cached(exp) is first
+
+
+def test_run_all_deduplicates_within_a_batch_and_keeps_order():
+    backend = _CountingBackend()
+    runner = Runner(backend=backend)
+    atomic = _experiment(ConsistencyModel.ATOMIC)
+    naive = _experiment(ConsistencyModel.NAIVE)
+    results = runner.run_all([atomic, naive, atomic])
+    assert len(backend.executed) == 2
+    assert results[0] is results[2]
+    assert results[0].model_name == "atomic"
+    assert results[1].model_name == "naive"
+
+
+def test_uncached_runner_still_dedupes_batches():
+    backend = _CountingBackend()
+    runner = Runner(backend=backend, cache=False)
+    exp = _experiment(ConsistencyModel.ATOMIC)
+    results = runner.run_all([exp, exp])
+    assert len(backend.executed) == 1
+    assert results[0] is results[1]
+    assert runner.cache_size == 0
+    # ...but separate calls re-execute
+    runner.run(exp)
+    assert len(backend.executed) == 2
+
+
+def test_clear_cache():
+    runner = Runner()
+    exp = _experiment(ConsistencyModel.NAIVE)
+    runner.run(exp)
+    assert runner.cache_size == 1
+    runner.clear_cache()
+    assert runner.cache_size == 0
+    assert runner.cached(exp) is None

@@ -41,6 +41,14 @@ def test_pim_execution_bumps_result_versions():
     assert all(system.memory.read(a) == 1 for a in lines)
 
 
+def test_run_without_programs_raises_cleanly():
+    """run() before load_programs() must not die with an AttributeError
+    on the lazily-created active-core list."""
+    system = System(SystemConfig.scaled_default(num_scopes=4))
+    with pytest.raises(RuntimeError, match="no programs loaded"):
+        system.run()
+
+
 def test_run_detects_stuck_cores():
     system = System(SystemConfig.scaled_default(num_scopes=4))
     # a barrier with a second program that never arrives

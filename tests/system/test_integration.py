@@ -12,23 +12,32 @@ results the paper argues for:
 
 import pytest
 
+from dataclasses import asdict
+
+from repro.api import Experiment, Runner
 from repro.core.models import ConsistencyModel
 from repro.sim.config import SystemConfig
-from repro.system.simulation import run_workload
-from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+from repro.workloads.ycsb import YcsbParams
 
 PARAMS = YcsbParams(num_records=8000, num_ops=30, threads=4, seed=11)
 NUM_SCOPES = 4
 
-_results = {}
+#: Session-wide runner: its spec-hash cache memoizes the per-model runs.
+_runner = Runner()
+
+
+def _experiment(model):
+    return Experiment(
+        workload="ycsb",
+        config=SystemConfig.scaled_default(model=model,
+                                           num_scopes=NUM_SCOPES),
+        params=asdict(PARAMS),
+        max_events=50_000_000,
+    )
 
 
 def _run(model):
-    if model not in _results:
-        cfg = SystemConfig.scaled_default(model=model, num_scopes=NUM_SCOPES)
-        _results[model] = run_workload(cfg, YcsbWorkload(PARAMS),
-                                       max_events=50_000_000)
-    return _results[model]
+    return _runner.run(_experiment(model))
 
 
 @pytest.mark.parametrize("model", [
@@ -54,10 +63,7 @@ def test_all_models_issue_the_same_pim_work():
     issued = {}
     for m in ConsistencyModel:
         res = _run(m)
-        issued[m] = sum(
-            res.stats[core].get("pim_ops", 0)
-            for core in res.stats if core.startswith("core.")
-        )
+        issued[m] = sum(core.pim_ops for core in res.cores)
     assert len(set(issued.values())) == 1
     assert all(res > 0 for res in issued.values())
 
@@ -104,10 +110,10 @@ def test_uncacheable_is_much_slower():
 
 
 def test_deterministic_replay():
-    cfg = SystemConfig.scaled_default(model=ConsistencyModel.SCOPE,
-                                      num_scopes=NUM_SCOPES)
-    a = run_workload(cfg, YcsbWorkload(PARAMS), max_events=50_000_000)
-    b = run_workload(cfg, YcsbWorkload(PARAMS), max_events=50_000_000)
+    # Fresh uncached runners: both calls really simulate.
+    exp = _experiment(ConsistencyModel.SCOPE)
+    a = Runner(cache=False).run(exp)
+    b = Runner(cache=False).run(exp)
     assert a.run_time == b.run_time
     assert a.events == b.events
 
