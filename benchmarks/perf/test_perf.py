@@ -1,0 +1,81 @@
+"""Tracked event-kernel performance benchmarks.
+
+Runs the *quick* pinned configurations (see ``repro.api.perf``), asserts
+run-to-run determinism, and checks the results against the digests
+pinned in ``BENCH_kernel.json`` -- the digest comparison is machine
+independent, so any change to what the simulator computes fails here
+even on hardware with very different throughput.
+
+Absolute events/sec regression gating is machine dependent and
+therefore opt-in: set ``REPRO_PERF_STRICT=1`` (the CI workflow does) to
+fail when throughput drops more than 30% below the checked-in baseline.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api import perf
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_kernel.json")
+
+
+@pytest.fixture(scope="module")
+def quick_record():
+    """One shared measurement of the quick configs (determinism is
+    asserted inside run_config: a divergent repeat raises)."""
+    return perf.run_suite(perf.QUICK_CONFIGS, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def bench_file():
+    with open(BENCH_PATH) as fh:
+        return json.load(fh)
+
+
+def test_quick_configs_measure_sane_throughput(quick_record):
+    for name, cur in quick_record["configs"].items():
+        assert cur["events"] > 1000, name
+        assert cur["run_time"] > 0, name
+        assert cur["events_per_sec"] > 0, name
+
+
+def test_results_match_checked_in_digests(quick_record, bench_file):
+    """The simulation results of the pinned configs are pinned too:
+    a kernel change that alters any statistic, run time or event count
+    shows up as a digest mismatch (machine independent)."""
+    for name, cur in quick_record["configs"].items():
+        base = bench_file["configs"][name]
+        assert cur["stats_sha256"] == base["stats_sha256"], (
+            f"{name}: simulation results diverged from BENCH_kernel.json"
+        )
+        assert cur["events"] == base["events"], name
+        assert cur["run_time"] == base["run_time"], name
+
+
+def test_optimized_kernel_reproduces_baseline_results(bench_file):
+    """BENCH_kernel.json records the pre-optimization kernel's digests;
+    they must equal the current kernel's (byte-identical results)."""
+    for name, base in bench_file["baseline"]["configs"].items():
+        cur = bench_file["configs"][name]
+        assert cur["stats_sha256"] == base["stats_sha256"], name
+        assert cur["events"] == base["events"], name
+        assert cur["run_time"] == base["run_time"], name
+
+
+def test_recorded_speedup_meets_target(bench_file):
+    """The acceptance bar for the kernel overhaul: >=2x events/sec on
+    the pinned YCSB-C benchmark vs the pre-PR kernel (as measured and
+    recorded on the same machine at optimization time)."""
+    assert bench_file["configs"]["ycsb-c"]["speedup_vs_baseline"] >= 2.0
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_PERF_STRICT") != "1",
+                    reason="machine-dependent; set REPRO_PERF_STRICT=1")
+def test_events_per_sec_has_not_regressed(quick_record, bench_file):
+    failures = perf.check_against_baseline(quick_record, bench_file,
+                                           tolerance=0.30)
+    assert not failures, failures

@@ -1,6 +1,6 @@
 """``repro-bench``: run experiment sweeps from the command line.
 
-Two subcommands::
+Three subcommands::
 
     repro-bench list
         Show the registered workloads and their parameters.
@@ -12,11 +12,21 @@ Two subcommands::
         print the headline statistics.  ``--jobs N`` fans the sweep over
         N worker processes through the ProcessPoolBackend.
 
+    repro-bench perf [--quick] [--configs a,b] [--repeats N]
+                     [--check BENCH_kernel.json] [--tolerance 0.30]
+                     [--output out.json]
+        Measure event-kernel throughput (events/sec) on the pinned
+        benchmark configurations, asserting run-to-run determinism.
+        ``--check`` compares against a checked-in baseline and exits
+        non-zero on a result-digest mismatch or a throughput regression
+        beyond the tolerance.
+
 Examples::
 
     repro-bench run litmus --models naive,atomic --jobs 2
     repro-bench run ycsb --num-scopes 4,8 --param num_ops=30
     repro-bench run tpch --param query=q6 --param scale=0.015625
+    repro-bench perf --quick --check BENCH_kernel.json
 
 For YCSB, ``num_records`` defaults to ``2000 * num_scopes`` (the
 benchmark harness's scaled sweep density) unless given via ``--param``.
@@ -83,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered workloads")
+
+    # The perf subcommand owns its own argument set (repro.api.perf);
+    # main() dispatches to it before this parser runs.  Registered here
+    # so --help lists it.
+    sub.add_parser("perf", add_help=False,
+                   help="measure event-kernel throughput on the pinned "
+                        "benchmark configurations")
 
     run = sub.add_parser("run", help="run a workload sweep")
     run.add_argument("workload", help="registered workload name")
@@ -185,7 +202,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    arg_list = list(argv) if argv is not None else sys.argv[1:]
+    if arg_list and arg_list[0] == "perf":
+        from repro.api.perf import main as perf_main
+        return perf_main(arg_list[1:])
+    args = _build_parser().parse_args(arg_list)
     if args.command == "list":
         return _cmd_list()
     return _cmd_run(args)

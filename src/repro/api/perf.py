@@ -1,0 +1,300 @@
+"""Tracked kernel-throughput benchmarks (``repro-bench perf``).
+
+The simulator's performance trajectory is measured on a small set of
+*pinned* configurations -- YCSB-C (read-only scans, the paper's hottest
+sweep point shape), the default YCSB mix, one TPC-H query and the litmus
+workload -- chosen to exercise every consistency-model code path at a
+size that finishes in well under a second.
+
+For each configuration the harness:
+
+* builds the system and compiles the workload *outside* the timed
+  region, then times :meth:`System.run` only -- events/sec measures the
+  event kernel, not workload generation;
+* runs the simulation ``repeats`` times and asserts **determinism**:
+  every repeat must produce byte-identical statistics (``stats`` dict,
+  ``run_time``, ``events``, ``stale_reads``);
+* records a canonical SHA-256 digest of the results.  The digest is
+  machine-independent, so a checked-in baseline (``BENCH_kernel.json``)
+  pins the *simulation results* as well as the throughput: any change
+  that alters what the simulator computes -- not just how fast -- trips
+  the digest comparison.
+
+``BENCH_kernel.json`` at the repo root stores the numbers for the
+current kernel next to the pre-optimization baseline, so future PRs can
+tell whether they moved the needle (and in which direction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.api.experiment import Experiment
+
+#: Schema tag stored in benchmark JSON files.
+SCHEMA = "repro-bench-perf/v1"
+
+#: The pinned benchmark points.  Do not retune these casually: the
+#: checked-in baseline numbers (and result digests) are tied to them.
+PERF_CONFIGS: Dict[str, dict] = {
+    "ycsb-c": {
+        "workload": "ycsb",
+        "params": {"num_ops": 60, "num_records": 8000, "scan_fraction": 1.0,
+                   "seed": 7},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 4},
+        "variant": "perf",
+    },
+    "ycsb-mix": {
+        "workload": "ycsb",
+        "params": {"num_ops": 40, "num_records": 4000, "seed": 7},
+        "config": {"preset": "scaled", "model": "scope-relaxed",
+                   "num_scopes": 8},
+        "variant": "perf",
+    },
+    "tpch-q6": {
+        "workload": "tpch",
+        "params": {"query": "q6", "scale": 0.015625},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 32},
+        "variant": "perf",
+    },
+    "litmus": {
+        "workload": "litmus",
+        "params": {"rounds": 50, "threads": 4},
+        "config": {"preset": "scaled", "model": "atomic", "num_scopes": 4},
+        "variant": "perf",
+    },
+}
+
+#: Configurations the ``--quick`` smoke run measures.
+QUICK_CONFIGS = ("ycsb-c", "litmus")
+
+
+class PerfDivergence(AssertionError):
+    """Raised when repeated runs of one pinned config disagree."""
+
+
+def _result_fingerprint(result) -> dict:
+    """Everything that must be byte-identical between repeats."""
+    return {
+        "run_time": result.run_time,
+        "events": result.events,
+        "stale_reads": result.stale_reads,
+        "stats": result.stats,
+    }
+
+
+def _digest(fingerprint: dict) -> str:
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_config(name: str, repeats: int = 3) -> dict:
+    """Measure one pinned configuration.
+
+    Returns a record with throughput (best of ``repeats``) and the
+    result digest.  Raises :class:`PerfDivergence` if any repeat's
+    results differ from the first run's -- the determinism guarantee the
+    kernel optimizations must preserve.
+    """
+    from repro.system.builder import System
+    from repro.system.simulation import collect_result
+
+    spec = PERF_CONFIGS[name]
+    experiment = Experiment.from_dict(spec)
+    fingerprint = None
+    best_wall = None
+    for _ in range(max(1, repeats)):
+        workload = experiment.build_workload()
+        system = System(experiment.config)
+        programs = workload.compile(system)
+        system.load_programs(programs)
+        start = time.perf_counter()
+        run_time = system.run(max_events=experiment.max_events)
+        wall = time.perf_counter() - start
+        result = collect_result(system, run_time)
+        current = _result_fingerprint(result)
+        if fingerprint is None:
+            fingerprint = current
+        elif current != fingerprint:
+            raise PerfDivergence(
+                f"perf config {name!r}: repeated runs diverged "
+                f"(run_time {current['run_time']} vs "
+                f"{fingerprint['run_time']}, events {current['events']} vs "
+                f"{fingerprint['events']})"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "events": fingerprint["events"],
+        "run_time": fingerprint["run_time"],
+        "stale_reads": fingerprint["stale_reads"],
+        "stats_sha256": _digest(fingerprint),
+        "wall_s": round(best_wall, 6),
+        "events_per_sec": round(fingerprint["events"] / best_wall),
+    }
+
+
+def run_suite(names: Optional[Iterable[str]] = None,
+              repeats: int = 3) -> dict:
+    """Measure a set of pinned configurations (all of them by default)."""
+    names = list(names) if names is not None else list(PERF_CONFIGS)
+    unknown = [n for n in names if n not in PERF_CONFIGS]
+    if unknown:
+        raise KeyError(
+            f"unknown perf configs {unknown}; "
+            f"pinned: {', '.join(PERF_CONFIGS)}"
+        )
+    return {
+        "schema": SCHEMA,
+        "configs": {name: run_config(name, repeats=repeats)
+                    for name in names},
+    }
+
+
+def check_against_baseline(current: dict, baseline: dict,
+                           tolerance: float = 0.30) -> List[str]:
+    """Compare a fresh measurement against a checked-in baseline.
+
+    Returns a list of human-readable failures:
+
+    * a config's result digest changed (the simulation now computes
+      different results -- machine-independent, always an error);
+    * a config's events/sec dropped more than ``tolerance`` below the
+      baseline (machine-dependent; gate CI runners accordingly).
+    """
+    failures = []
+    for name, cur in current["configs"].items():
+        base = baseline.get("configs", {}).get(name)
+        if base is None:
+            continue
+        if cur["stats_sha256"] != base.get("stats_sha256"):
+            failures.append(
+                f"{name}: simulation results changed "
+                f"(digest {cur['stats_sha256'][:12]} != "
+                f"baseline {base.get('stats_sha256', '?')[:12]})"
+            )
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        if cur["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: events/sec regressed to {cur['events_per_sec']:,} "
+                f"(baseline {base['events_per_sec']:,}, floor {floor:,.0f})"
+            )
+    return failures
+
+
+def format_report(record: dict, baseline: Optional[dict] = None) -> str:
+    """A fixed-width table of one measurement (vs. a baseline if given)."""
+    lines = [f"{'config':<10} {'events':>10} {'run_time':>10} "
+             f"{'wall (s)':>9} {'events/sec':>12}  speedup"]
+    for name, cur in record["configs"].items():
+        speedup = ""
+        if baseline is not None:
+            base = baseline.get("configs", {}).get(name)
+            if base and base.get("events_per_sec"):
+                speedup = f"{cur['events_per_sec'] / base['events_per_sec']:.2f}x"
+        lines.append(
+            f"{name:<10} {cur['events']:>10,} {cur['run_time']:>10,} "
+            f"{cur['wall_s']:>9.3f} {cur['events_per_sec']:>12,}  {speedup}"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_record(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def update_tracked_file(path: str, record: dict) -> dict:
+    """Refresh the tracked benchmark file (``BENCH_kernel.json``) in place.
+
+    Preserves the file's ``description`` and ``baseline`` section,
+    merges the new measurements over any configs not re-measured, and
+    recomputes ``speedup_vs_baseline`` -- so the checked-in schema that
+    ``benchmarks/perf/test_perf.py`` requires can be regenerated with
+    ``repro-bench perf --update BENCH_kernel.json``.
+    """
+    try:
+        existing = load_baseline(path)
+    except FileNotFoundError:
+        existing = {}
+    merged = dict(existing.get("configs", {}))
+    merged.update(record["configs"])
+    out = {"schema": SCHEMA, "configs": merged}
+    if "description" in existing:
+        out["description"] = existing["description"]
+    if "baseline" in existing:
+        out["baseline"] = existing["baseline"]
+    base_configs = out.get("baseline", {}).get("configs", {})
+    for name, cur in merged.items():
+        base = base_configs.get(name)
+        if base and base.get("events_per_sec"):
+            cur["speedup_vs_baseline"] = round(
+                cur["events_per_sec"] / base["events_per_sec"], 2)
+    write_record(path, out)
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-bench perf`` subcommand."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-bench perf")
+    parser.add_argument("--quick", action="store_true",
+                        help="measure only the smoke configs "
+                             f"({', '.join(QUICK_CONFIGS)})")
+    parser.add_argument("--configs", default=None,
+                        help="comma-separated pinned config names")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--check", metavar="BASELINE_JSON", default=None,
+                        help="fail if results diverge from, or events/sec "
+                             "regresses more than --tolerance below, this "
+                             "baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional events/sec regression "
+                             "for --check (default 0.30)")
+    parser.add_argument("--output", metavar="JSON", default=None,
+                        help="write the raw measurement record to this file")
+    parser.add_argument("--update", metavar="TRACKED_JSON", default=None,
+                        help="refresh a tracked benchmark file in place, "
+                             "preserving its baseline section and "
+                             "recomputing speedups (use for "
+                             "BENCH_kernel.json)")
+    args = parser.parse_args(argv)
+
+    if args.configs:
+        names = [n.strip() for n in args.configs.split(",") if n.strip()]
+    elif args.quick:
+        names = list(QUICK_CONFIGS)
+    else:
+        names = list(PERF_CONFIGS)
+
+    record = run_suite(names, repeats=args.repeats)
+    baseline = load_baseline(args.check) if args.check else None
+    print(format_report(record, baseline))
+    if args.output:
+        write_record(args.output, record)
+        print(f"wrote {args.output}")
+    if args.update:
+        update_tracked_file(args.update, record)
+        print(f"updated {args.update}")
+        print("note: speedup_vs_baseline compares against the stored "
+              "baseline measurements; ratios are only meaningful when "
+              "the baseline was measured on this machine (ideally "
+              "interleaved in the same session).")
+    if baseline is not None:
+        failures = check_against_baseline(record, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(f"ok: within {args.tolerance:.0%} of {args.check}")
+    return 0

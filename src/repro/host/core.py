@@ -46,6 +46,7 @@ class Core(Component):
         issue_interval: int = 1,
         barrier_cb: Optional[Callable[["Core"], None]] = None,
         stale_cb: Optional[Callable[["Core", Message], None]] = None,
+        done_cb: Optional[Callable[["Core"], None]] = None,
     ) -> None:
         super().__init__(sim, name)
         self.core_id = core_id
@@ -56,7 +57,13 @@ class Core(Component):
         self.issue_interval = issue_interval
         self.barrier_cb = barrier_cb
         self.stale_cb = stale_cb
+        #: Invoked once, the moment :attr:`done` first turns true.  The
+        #: system's run loop counts these down instead of re-evaluating
+        #: every core's ``done`` predicate after every kernel event.
+        self.done_cb = done_cb
+        self._done_notified = False
         self.program: Optional[ThreadProgram] = None
+        self._ops = ()
         self.pc = 0
         self._exhausted = False
         self.outstanding_loads = 0
@@ -69,11 +76,22 @@ class Core(Component):
         self._at_barrier = False
         self._step_scheduled = False
         self.stats = StatGroup(name)
-        self._stale_reads = self.stats.counter("stale_reads")
-        self._loads = self.stats.counter("loads")
-        self._stores = self.stats.counter("stores")
-        self._pim_ops = self.stats.counter("pim_ops")
+        # Issue/stale counters are batched as plain ints on the core
+        # (one attribute bump per op) and synced into the StatGroup only
+        # when a snapshot is taken.
+        self._stale_reads = 0
+        self._loads = 0
+        self._stores = 0
+        self._pim_ops = 0
+        self.stats.register_flush(self._flush_stats)
         self.finish_time: Optional[int] = None
+
+    def _flush_stats(self) -> None:
+        stats = self.stats
+        stats.counter("stale_reads").value = self._stale_reads
+        stats.counter("loads").value = self._loads
+        stats.counter("stores").value = self._stores
+        stats.counter("pim_ops").value = self._pim_ops
 
     # ------------------------------------------------------------------ #
 
@@ -100,20 +118,29 @@ class Core(Component):
 
     def run_program(self, program: ThreadProgram) -> None:
         self.program = program
+        self._ops = program.ops
         self.pc = 0
         self._exhausted = len(program) == 0
+        self._done_notified = False
         self._schedule_step(0)
 
     def _schedule_step(self, delay: int = 0) -> None:
         if not self._step_scheduled and not self._exhausted:
             self._step_scheduled = True
-            self.sim.schedule(delay, self._step)
+            if delay:
+                self.sim.schedule(delay, self._step)
+            else:
+                # Inlined Simulator.call_at_now: wake-ups outnumber every
+                # other event source on the core.
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                sim._ring.append((seq, self._step, ()))
 
     def _step(self) -> None:
         self._step_scheduled = False
         if self._exhausted or self._at_barrier or self._waiting_pim_ack:
             return
-        op = self.program.ops[self.pc]
+        op = self._ops[self.pc]
         kind = op.kind
         if kind is ThreadOpKind.COMPUTE:
             self._advance()
@@ -148,10 +175,12 @@ class Core(Component):
                 self.barrier_cb(self)
         else:  # pragma: no cover - exhaustive
             raise ValueError(f"core cannot execute {kind}")
+        if self._exhausted and not self._done_notified:
+            self._maybe_finish()
 
     def _advance(self) -> None:
         self.pc += 1
-        if self.pc >= len(self.program.ops):
+        if self.pc >= len(self._ops):
             self._exhausted = True
             self.finish_time = self.sim.now
 
@@ -162,20 +191,14 @@ class Core(Component):
             return  # woken by a load completion
         if op.uncacheable and not self._uncacheable_ready():
             return  # UC accesses are strongly ordered (no overlap)
-        msg = Message(
-            MessageType.LOAD,
-            addr=op.addr,
-            scope=op.scope,
-            core=self.core_id,
-            reply_to=self,
-            uncacheable=op.uncacheable,
-            version=op.expect_version,
-        )
+        msg = Message(MessageType.LOAD, op.addr, op.scope, self.core_id,
+                      self, False, op.uncacheable, False, op.expect_version)
         if not self.entry_point.offer(msg):
             return  # woken by entry-point progress
         self.outstanding_loads += 1
-        self._track_scope(op.scope, +1)
-        self._loads.add()
+        if op.scope is not None:
+            self._track_scope(op.scope, +1)
+        self._loads += 1
         self._advance()
         self._schedule_step(self.issue_interval)
 
@@ -199,22 +222,17 @@ class Core(Component):
     def _issue_simple(self, op: ThreadOp, mtype: MessageType) -> None:
         if op.uncacheable and not self._uncacheable_ready():
             return  # woken by response completions
-        msg = Message(
-            mtype,
-            addr=op.addr,
-            scope=op.scope,
-            core=self.core_id,
-            reply_to=self,
-            uncacheable=op.uncacheable,
-        )
+        msg = Message(mtype, op.addr, op.scope, self.core_id, self,
+                      False, op.uncacheable)
         if not self.entry_point.offer(msg):
             return
         if mtype is MessageType.STORE:
             self.outstanding_stores += 1
-            self._stores.add()
+            self._stores += 1
         else:
             self.outstanding_flushes += 1
-        self._track_scope(op.scope, +1)
+        if op.scope is not None:
+            self._track_scope(op.scope, +1)
         self._advance()
         self._schedule_step(self.issue_interval)
 
@@ -226,15 +244,12 @@ class Core(Component):
         if not self._pim_issue_ready(op):
             return
         msg = Message(
-            MessageType.PIM_OP,
-            addr=op.addr,
-            scope=op.scope,
-            core=self.core_id,
-            reply_to=self if self.policy.blocks_commit else self.entry_point,
+            MessageType.PIM_OP, op.addr, op.scope, self.core_id,
+            self if self.policy.blocks_commit else self.entry_point,
         )
         if not self.entry_point.offer(msg):
             return
-        self._pim_ops.add()
+        self._pim_ops += 1
         if self.policy.blocks_commit:
             # ...and no commit until the MC ACKs (Fig. 6a).
             self._waiting_pim_ack = True
@@ -300,35 +315,70 @@ class Core(Component):
         mtype = resp.mtype
         if mtype is MessageType.LOAD_RESP:
             self.outstanding_loads -= 1
-            self._track_scope(resp.scope, -1)
+            if resp.scope is not None:
+                self._track_scope(resp.scope, -1)
             expected = resp.req.version if resp.req is not None else 0
             if expected and resp.version < expected:
-                self._stale_reads.add()
+                self._stale_reads += 1
                 if self.stale_cb is not None:
+                    # The callback may retain the response (tracing,
+                    # assertions); hand it over instead of recycling.
                     self.stale_cb(self, resp)
+                    self._schedule_step(0)
+                    if self._exhausted and not self._done_notified:
+                        self._maybe_finish()
+                    return
         elif mtype is MessageType.STORE_ACK:
             self.outstanding_stores -= 1
-            self._track_scope(resp.scope, -1)
+            if resp.scope is not None:
+                self._track_scope(resp.scope, -1)
         elif mtype is MessageType.FLUSH_ACK:
             self.outstanding_flushes -= 1
-            self._track_scope(resp.scope, -1)
+            if resp.scope is not None:
+                self._track_scope(resp.scope, -1)
         elif mtype is MessageType.PIM_ACK:
-            # Atomic model: the op may now commit.
+            # Atomic model: the op may now commit.  The PIM op itself is
+            # still travelling toward the module -- only the ACK is dead.
             self._waiting_pim_ack = False
         else:  # pragma: no cover - defensive
             raise ValueError(f"core got {mtype}")
+        # The response is finished: recycle it through the message
+        # pool.  (The request may be observed by tracers/tests, so only
+        # the transient response is pooled.)
+        resp.release()
         self._schedule_step(0)
+        if self._exhausted and not self._done_notified:
+            self._maybe_finish()
 
     def on_entry_point_progress(self) -> None:
         self._schedule_step(0)
+        if self._exhausted and not self._done_notified:
+            self._maybe_finish()
 
     def on_subsystem_ack(self, resp: Message) -> None:
         self._schedule_step(0)
+        if self._exhausted and not self._done_notified:
+            self._maybe_finish()
 
     def release_barrier(self) -> None:
         self._at_barrier = False
         self._schedule_step(0)
+        if self._exhausted and not self._done_notified:
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        """Fire ``done_cb`` exactly once, when :attr:`done` first holds.
+
+        ``done`` is monotonic once the program is exhausted (nothing can
+        issue anymore, so outstanding work only drains), which is what
+        makes the one-shot notification equivalent to polling ``done``
+        after every kernel event.
+        """
+        if self.done:
+            self._done_notified = True
+            if self.done_cb is not None:
+                self.done_cb(self)
 
     @property
     def stale_reads(self) -> int:
-        return self._stale_reads.value
+        return self._stale_reads

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Optional, Set
 
+from repro.core.models import ConsistencyModel
 from repro.host.policies import IssuePolicy
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
@@ -57,6 +58,13 @@ class EntryPoint(Component):
         self.pending_scope_fences = 0
         self.stats = StatGroup(name)
         self._forwarded = self.stats.counter("ops_forwarded")
+        # Policy traits predigested for the per-cycle serve loop (the
+        # loop inlines IssuePolicy.may_forward; these avoid re-deriving
+        # the per-model facts on every queue scan).
+        props_holds = policy.props.entry_point_holds
+        self._holds_free = props_holds in ("none", "all")
+        self._holds_stores = props_holds == "stores"
+        self._pim_reorders = policy.model is ConsistencyModel.SCOPE_RELAXED
 
     def attach_core(self, core) -> None:
         self._core = core
@@ -74,10 +82,13 @@ class EntryPoint(Component):
         return not self._queue
 
     def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
-        if self.is_full:
+        queue = self._queue
+        if len(queue) >= self.depth:
             return False
-        self._queue.append(msg)
-        self._schedule_serve()
+        queue.append(msg)
+        if not self._serving:
+            self._serving = True
+            self.sim.schedule(1, self._serve)
         return True
 
     # ------------------------------------------------------------------ #
@@ -91,66 +102,137 @@ class EntryPoint(Component):
 
     def _serve(self) -> None:
         self._serving = False
-        progress = False
         # One forward per cycle; scan for the first permitted message.
+        # This loop inlines :meth:`IssuePolicy.may_forward` (it runs for
+        # every entry-point cycle), and the ordering context each
+        # candidate sees -- "an older store/flush to my line sits
+        # ahead", "an older PIM op / scope-fence to my scope sits ahead"
+        # -- accumulates incrementally in one queue walk instead of
+        # re-scanning the prefix per candidate (the old O(n^2) shape).
+        queue = self._queue
+        if not queue:
+            return
+        pending = self.pending_pim_scopes
+        fenced = self.fenced_scopes
+        # Head fast path: the queue head sees no older-message ordering
+        # context, so in-order traffic (the overwhelmingly common case)
+        # skips the scanning loop entirely.  A blocked head falls
+        # through to the full scan, which re-derives the same verdict.
+        msg = queue[0]
+        mtype = msg.mtype
+        scope = msg.scope
+        allowed = True
+        if (scope is not None and mtype is not MessageType.PIM_OP
+                and scope in fenced):
+            allowed = False
+        if allowed and not self._holds_free:
+            if self._holds_stores:
+                if pending:
+                    if mtype is MessageType.LOAD:
+                        allowed = scope not in pending
+                    else:
+                        allowed = False
+            else:
+                allowed = scope not in pending
+        if allowed:
+            if mtype is MessageType.PIM_OP or mtype is MessageType.SCOPE_FENCE:
+                accepted = self._forward(msg)
+            elif msg.uncacheable:
+                accepted = self.req_net.offer(msg, self)
+            else:
+                accepted = self.l1.offer(msg, self)
+            if accepted:
+                queue.popleft()
+                self._forwarded.value += 1
+                if self._core is not None:
+                    self._core.on_entry_point_progress()
+                if queue:
+                    self._schedule_serve()
+            return
+        store_lines = None  # lines of earlier stores/flushes (lazy)
+        pim_scopes = None  # scopes of earlier queued PIM ops (lazy)
+        fence_scopes = None  # scopes of earlier queued scope-fences
+        forwarded = False
+        pim_op = MessageType.PIM_OP
+        holds_free = self._holds_free
+        holds_stores = self._holds_stores
+        pim_reorders = self._pim_reorders
         for i, msg in enumerate(self._queue):
-            if not self.policy.may_forward(
-                msg,
-                self.pending_pim_scopes,
-                self.fenced_scopes,
-                self._earlier_same_line_write(i, msg),
-                self._earlier_same_scope_order(i, msg),
-            ):
-                continue
-            if self._forward(msg):
-                del self._queue[i]
-                progress = True
-            break
-        if progress:
-            self._forwarded.add()
+            mtype = msg.mtype
+            scope = msg.scope
+            allowed = True
+            if (mtype is MessageType.LOAD and store_lines is not None
+                    and (msg.addr & ~63) in store_lines):
+                # Store-to-load order: an older store/flush to the same
+                # line sits in the entry point.
+                allowed = False
+            elif scope is not None and mtype is not pim_op:
+                # A held PIM op behaves like an un-ACKed one for
+                # ordering: a younger same-scope access jumping over it
+                # would read pre-PIM data (the Fig. 1 race, reproduced
+                # inside the write buffer).  Whether the PIM op blocks
+                # the younger access is the policy's call (scope-relaxed
+                # permits the reorder); a queued or un-ACKed scope-fence
+                # blocks same-scope accesses under every model --
+                # ordering is its entire purpose.
+                if fence_scopes is not None and scope in fence_scopes:
+                    allowed = False
+                elif (not pim_reorders and pim_scopes is not None
+                        and scope in pim_scopes):
+                    allowed = False
+                elif scope in fenced:
+                    allowed = False
+            if allowed and not holds_free:
+                # Pending-ACK holds (store model: everything but
+                # other-scope loads; scope model: same-scope only).
+                if holds_stores:
+                    if pending:
+                        if mtype is MessageType.LOAD:
+                            allowed = scope not in pending
+                        else:
+                            allowed = False
+                else:
+                    allowed = scope not in pending
+            if allowed:
+                # Plain loads/stores/flushes route straight to the L1
+                # (or, uncacheable, the request network); PIM ops and
+                # scope fences take the bookkeeping path in _forward().
+                if mtype is pim_op or mtype is MessageType.SCOPE_FENCE:
+                    accepted = self._forward(msg)
+                elif msg.uncacheable:
+                    accepted = self.req_net.offer(msg, self)
+                else:
+                    accepted = self.l1.offer(msg, self)
+                if accepted:
+                    if i:
+                        del self._queue[i]
+                    else:
+                        self._queue.popleft()
+                    forwarded = True
+                break
+            # Not forwardable: record the ordering constraints this
+            # message imposes on everything younger.
+            if mtype is MessageType.STORE or mtype is MessageType.FLUSH:
+                if store_lines is None:
+                    store_lines = {msg.addr & ~63}
+                else:
+                    store_lines.add(msg.addr & ~63)
+            elif mtype is MessageType.SCOPE_FENCE:
+                if fence_scopes is None:
+                    fence_scopes = {scope}
+                else:
+                    fence_scopes.add(scope)
+            elif mtype is pim_op:
+                if pim_scopes is None:
+                    pim_scopes = {scope}
+                else:
+                    pim_scopes.add(scope)
+        if forwarded:
+            self._forwarded.value += 1
             if self._core is not None:
                 self._core.on_entry_point_progress()
             if self._queue:
                 self._schedule_serve()
-
-    def _earlier_same_line_write(self, index: int, msg: Message) -> bool:
-        if msg.mtype is not MessageType.LOAD:
-            return False
-        line = msg.addr & ~63
-        for i, earlier in enumerate(self._queue):
-            if i >= index:
-                return False
-            if (earlier.mtype in (MessageType.STORE, MessageType.FLUSH)
-                    and (earlier.addr & ~63) == line):
-                return True
-        return False
-
-    def _earlier_same_scope_order(self, index: int, msg: Message) -> str:
-        """Oldest still-queued same-scope orderer ahead of ``msg``.
-
-        Returns ``"pim"`` or ``"fence"`` when an older, not-yet-forwarded
-        PIM op / scope-fence to ``msg``'s scope sits ahead of it, else
-        ``""``.  A held PIM op behaves like an un-ACKed one for ordering:
-        a younger same-scope access jumping over it would read pre-PIM
-        data (the Fig. 1 race, reproduced inside the write buffer).
-        Whether the *PIM op* blocks the younger access is the policy's
-        call (scope-relaxed permits the reorder); a queued scope-fence
-        blocks same-scope accesses under every model -- ordering is its
-        entire purpose.
-        """
-        if msg.scope is None or msg.mtype is MessageType.PIM_OP:
-            return ""
-        found = ""
-        for i, earlier in enumerate(self._queue):
-            if i >= index:
-                break
-            if earlier.scope != msg.scope:
-                continue
-            if earlier.mtype is MessageType.SCOPE_FENCE:
-                return "fence"
-            if earlier.mtype is MessageType.PIM_OP and not found:
-                found = "pim"
-        return found
 
     def _forward(self, msg: Message) -> bool:
         mtype = msg.mtype
@@ -195,6 +277,8 @@ class EntryPoint(Component):
                     del self.pending_pim_scopes[resp.scope]
                 else:
                     self.pending_pim_scopes[resp.scope] = count
+            # The ACKed PIM op itself is still in flight toward the
+            # module; only the ACK is recyclable (released below).
         elif resp.mtype is MessageType.SCOPE_FENCE_ACK:
             self.pending_scope_fences -= 1
             self.fenced_scopes.discard(resp.scope)
@@ -203,3 +287,4 @@ class EntryPoint(Component):
         self._schedule_serve()
         if self._core is not None:
             self._core.on_subsystem_ack(resp)
+        resp.release()

@@ -13,9 +13,12 @@ marks PIM-enabled pages and the marking travels with each request).
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, Iterable, List, Optional
 
 from repro.memory.mesi import MesiState
+
+_by_tick = operator.attrgetter("tick")
 
 
 class CacheLine:
@@ -57,13 +60,14 @@ class CacheArray:
         self.ways = ways
         self.line_bytes = line_bytes
         self._line_shift = line_bytes.bit_length() - 1
+        self._line_mask = ~(line_bytes - 1)
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(num_sets)]
         self._tick = 0
 
     # -- address helpers ---------------------------------------------- #
 
     def line_addr(self, addr: int) -> int:
-        return addr & ~(self.line_bytes - 1)
+        return addr & self._line_mask
 
     def set_index(self, addr: int) -> int:
         return (addr >> self._line_shift) % self.num_sets
@@ -72,34 +76,34 @@ class CacheArray:
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Find the line holding ``addr`` (bumping LRU unless ``touch=False``)."""
-        line_addr = self.line_addr(addr)
-        line = self._sets[self.set_index(addr)].get(line_addr)
-        if line is not None and line.state is MesiState.INVALID:
+        line = self._sets[(addr >> self._line_shift) % self.num_sets].get(
+            addr & self._line_mask
+        )
+        if line is None or line.state is MesiState.INVALID:
             return None
-        if line is not None and touch:
-            self._tick += 1
-            line.tick = self._tick
+        if touch:
+            self._tick = tick = self._tick + 1
+            line.tick = tick
         return line
 
     def fill(self, addr: int, state: MesiState, version: int,
              scope: Optional[int], pim: bool) -> CacheLine:
         """Install a line (caller must have made room with :meth:`victim`)."""
-        line_addr = self.line_addr(addr)
-        cache_set = self._sets[self.set_index(addr)]
+        line_addr = addr & self._line_mask
+        cache_set = self._sets[(addr >> self._line_shift) % self.num_sets]
         if len(cache_set) >= self.ways and line_addr not in cache_set:
             raise RuntimeError(f"set {self.set_index(addr)} full; evict first")
         line = CacheLine(line_addr, state, version, scope, pim)
-        self._tick += 1
-        line.tick = self._tick
+        self._tick = line.tick = self._tick + 1
         cache_set[line_addr] = line
         return line
 
     def victim(self, addr: int) -> Optional[CacheLine]:
         """The line to evict to make room for ``addr`` (None if room exists)."""
-        cache_set = self._sets[self.set_index(addr)]
+        cache_set = self._sets[(addr >> self._line_shift) % self.num_sets]
         if len(cache_set) < self.ways:
             return None
-        return min(cache_set.values(), key=lambda l: l.tick)
+        return min(cache_set.values(), key=_by_tick)
 
     def remove(self, addr: int) -> Optional[CacheLine]:
         """Drop the line holding ``addr`` entirely (invalidation)."""
@@ -110,6 +114,32 @@ class CacheArray:
 
     def lines_in_set(self, index: int) -> Iterable[CacheLine]:
         return list(self._sets[index].values())
+
+    def take_scope_lines(self, index: int, scope: int):
+        """Remove and return this set's lines of ``scope``, in one pass.
+
+        Also reports whether any PIM-enabled line *remains* in the set
+        (the SBV re-check of Section IV-B), fused into the same walk --
+        the per-set scan is the LLC's hottest handler by far.
+
+        Returns ``(removed_lines, set_still_has_pim)``.
+        """
+        cache_set = self._sets[index]
+        matches = None
+        has_pim = False
+        for line in cache_set.values():
+            if line.scope == scope:
+                if matches is None:
+                    matches = [line]
+                else:
+                    matches.append(line)
+            elif line.pim:
+                has_pim = True
+        if matches is None:
+            return (), has_pim
+        for line in matches:
+            del cache_set[line.addr]
+        return matches, has_pim
 
     def set_has_pim_line(self, index: int) -> bool:
         """Does this set still hold any line from a PIM-enabled scope?

@@ -28,6 +28,10 @@ from repro.sim.kernel import Simulator
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
 
+#: Store-hit fast path: IntEnum ordering makes "writable" a plain int
+#: compare (EXCLUSIVE=2, MODIFIED=3; lookup() never returns INVALID).
+_EXCLUSIVE = MesiState.EXCLUSIVE
+
 
 class _Mshr:
     """A miss-status holding register: one outstanding line fill."""
@@ -79,7 +83,8 @@ class L1Cache(QueuedComponent):
                 scope_buffer_cfg.sets, scope_buffer_cfg.ways, self.stats
             )
             self.sbv = ScopeBitVector(config.num_sets, self.stats)
-        self._scan_latency = self.stats.mean("scan_latency")
+        self._scan_latency = self.stats.mean("scan_latency", extremes=False)
+        self._hit_latency = config.hit_latency
         # Writebacks and upgrade re-fetches waiting for network space
         # (fill-path actions cannot block the response path, so they
         # drain opportunistically).
@@ -94,10 +99,30 @@ class L1Cache(QueuedComponent):
 
     def handle(self, msg: Message) -> Union[bool, int]:
         mtype = msg.mtype
+        # Loads and stores are the simulator's hottest messages: their
+        # hit paths are flattened here (lookup + pooled response) rather
+        # than dispatched through the per-type helpers.
         if mtype is MessageType.LOAD:
-            return self._handle_load(msg)
+            line = self.array.lookup(msg.addr)
+            if line is None:
+                return self._miss(msg, False)
+            self._hits.value += 1
+            resp = msg.make_response(MessageType.LOAD_RESP, line.version)
+            self.sim.schedule(self._hit_latency,
+                              resp.reply_to.receive_response, resp)
+            return True
         if mtype is MessageType.STORE:
-            return self._handle_store(msg)
+            line = self.array.lookup(msg.addr)
+            if line is not None and line.state >= _EXCLUSIVE:
+                self._hits.value += 1
+                line.state = MesiState.MODIFIED
+                line.version += 1
+                resp = msg.make_response(MessageType.STORE_ACK, line.version)
+                self.sim.schedule(self._hit_latency,
+                                  resp.reply_to.receive_response, resp)
+                return True
+            # Shared hit (upgrade) or miss: fetch exclusive ownership.
+            return self._miss(msg, True)
         if mtype is MessageType.FLUSH:
             return self._handle_flush(msg)
         if mtype is MessageType.PIM_OP:
@@ -109,27 +134,8 @@ class L1Cache(QueuedComponent):
             return self._handle_scope_fence(msg)
         raise ValueError(f"L1 cannot handle {mtype}")
 
-    def _handle_load(self, msg: Message) -> Union[bool, int]:
-        line = self.array.lookup(msg.addr)
-        if line is not None:
-            self._hits.add()
-            self._respond(msg, MessageType.LOAD_RESP, line.version)
-            return True
-        return self._miss(msg, exclusive=False)
-
-    def _handle_store(self, msg: Message) -> Union[bool, int]:
-        line = self.array.lookup(msg.addr)
-        if line is not None and line.state.writable:
-            self._hits.add()
-            line.state = MesiState.MODIFIED
-            line.version += 1
-            self._respond(msg, MessageType.STORE_ACK, line.version)
-            return True
-        # Shared hit (upgrade) or miss: fetch exclusive ownership.
-        return self._miss(msg, exclusive=True)
-
     def _miss(self, msg: Message, exclusive: bool) -> Union[bool, int]:
-        self._misses.add()
+        self._misses.value += 1
         line_addr = self.array.line_addr(msg.addr)
         mshr = self._mshrs.get(line_addr)
         if mshr is not None:
@@ -137,22 +143,16 @@ class L1Cache(QueuedComponent):
             # fetch re-requests at fill time.
             mshr.waiters.append(msg)
             if exclusive:
-                mshr.exclusive = mshr.exclusive or exclusive
+                mshr.exclusive = True
             return True
         if len(self._mshrs) >= self.mshr_count:
             return 4  # all MSHRs busy; retry shortly
-        fill_req = Message(
-            MessageType.LOAD,
-            addr=line_addr,
-            scope=msg.scope,
-            core=self.core_id,
-            reply_to=self,
-            exclusive=exclusive,
-        )
+        fill_req = Message(MessageType.LOAD, line_addr, msg.scope,
+                           self.core_id, self, exclusive)
         if not self.req_net.offer(fill_req, self):
             return False
-        self._mshrs[line_addr] = _Mshr(exclusive)
-        self._mshrs[line_addr].waiters.append(msg)
+        mshr = self._mshrs[line_addr] = _Mshr(exclusive)
+        mshr.waiters.append(msg)
         return True
 
     def _handle_flush(self, msg: Message) -> Union[bool, int]:
@@ -201,20 +201,20 @@ class L1Cache(QueuedComponent):
         latency = max(1, len(set_indices) * self.config.scan_cycles_per_set)
         self._scan_latency.sample(latency)
         wbs = []
+        take = self.array.take_scope_lines
         for index in set_indices:
-            for line in self.array.lines_in_set(index):
-                if line.scope == scope:
-                    if line.dirty:
-                        wbs.append(self._writeback_msg(line))
-                    self.array.remove(line.addr)
+            flushed, has_pim = take(index, scope)
+            for line in flushed:
+                if line.dirty:
+                    wbs.append(self._writeback_msg(line))
             if self.sbv is not None:
-                self.sbv.update_on_eviction(index, self.array.set_has_pim_line(index))
+                self.sbv.update_on_eviction(index, has_pim)
         if self.scope_buffer is not None:
             self.scope_buffer.insert(scope)
         return latency, wbs
 
     def _writeback_msg(self, line) -> Message:
-        return Message(
+        return Message.acquire(
             MessageType.WRITEBACK,
             addr=line.addr,
             scope=line.scope,
@@ -252,9 +252,16 @@ class L1Cache(QueuedComponent):
         line_addr = resp.addr
         mshr = self._mshrs.pop(line_addr, None)
         if mshr is None:
-            return  # fill for a line whose waiters were already satisfied
-        exclusive = resp.req.exclusive if resp.req is not None else mshr.exclusive
-        self._install(line_addr, resp.scope, resp.version, exclusive)
+            # Fill for a line whose waiters were already satisfied.
+            resp.release()
+            return
+        req = resp.req
+        exclusive = req.exclusive if req is not None else mshr.exclusive
+        scope = resp.scope
+        self._install(line_addr, scope, resp.version, exclusive)
+        # The response is consumed; recycle it before answering the
+        # waiters (which draws from the same pool).
+        resp.release()
         retry: List[Message] = []
         line = self.array.lookup(line_addr, touch=False)
         for waiter in mshr.waiters:
@@ -275,7 +282,7 @@ class L1Cache(QueuedComponent):
             fill_req = Message(
                 MessageType.LOAD,
                 addr=line_addr,
-                scope=resp.scope,
+                scope=scope,
                 core=self.core_id,
                 reply_to=self,
                 exclusive=True,
@@ -336,5 +343,5 @@ class L1Cache(QueuedComponent):
     def _respond(self, req: Message, mtype: MessageType, version: int) -> None:
         resp = req.make_response(mtype, version=version)
         self.sim.schedule(
-            self.config.hit_latency, resp.reply_to.receive_response, resp
+            self._hit_latency, resp.reply_to.receive_response, resp
         )

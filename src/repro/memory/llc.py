@@ -68,6 +68,7 @@ class LastLevelCache(QueuedComponent):
         self._misses = self.stats.counter("misses")
         self._scan_latency = self.stats.mean("scan_latency")
         self._flushed_lines = self.stats.counter("flushed_lines")
+        self._hit_latency = config.hit_latency
         self.scope_buffer = ScopeBuffer(
             scope_buffer_cfg.sets, scope_buffer_cfg.ways, self.stats
         )
@@ -94,7 +95,30 @@ class LastLevelCache(QueuedComponent):
         if mtype is MessageType.LOAD:
             if msg.uncacheable:
                 return self._forward_mem(msg)
-            return self._handle_fetch(msg)
+            # Flattened fetch-hit path (the LLC's hottest message).
+            line = self.array.lookup(msg.addr)
+            if line is None:
+                return self._fetch_miss(msg)
+            self._hits.value += 1
+            sharers = self._dir.setdefault(line.addr, set())
+            if msg.exclusive:
+                self._invalidate_sharers(line, except_core=msg.core)
+                sharers.clear()
+                sharers.add(msg.core)
+            else:
+                # A modified owner must supply fresh data and downgrade.
+                for core in list(sharers):
+                    if core != msg.core:
+                        dirty, version = self.l1s[core].downgrade_to_shared(
+                            line.addr)
+                        if dirty and version > line.version:
+                            line.version = version
+                            line.state = MesiState.MODIFIED
+                sharers.add(msg.core)
+            resp = msg.make_response(MessageType.LOAD_RESP, line.version)
+            self.sim.schedule(self._hit_latency, self.resp_net.offer,
+                              resp, None)
+            return True
         if mtype is MessageType.STORE:
             # Cached stores never reach the LLC as STOREs (they become
             # exclusive LOAD fetches at the L1); only uncacheable stores do.
@@ -113,30 +137,8 @@ class LastLevelCache(QueuedComponent):
 
     # -- loads / fetches (GetS / GetM from the L1s) --------------------- #
 
-    def _handle_fetch(self, msg: Message) -> Union[bool, int]:
-        line = self.array.lookup(msg.addr)
-        if line is None:
-            return self._fetch_miss(msg)
-        self._hits.add()
-        sharers = self._dir.setdefault(line.addr, set())
-        if msg.exclusive:
-            self._invalidate_sharers(line, except_core=msg.core)
-            sharers.clear()
-            sharers.add(msg.core)
-        else:
-            # A modified owner must supply fresh data and downgrade.
-            for core in list(sharers):
-                if core != msg.core:
-                    dirty, version = self.l1s[core].downgrade_to_shared(line.addr)
-                    if dirty and version > line.version:
-                        line.version = version
-                        line.state = MesiState.MODIFIED
-            sharers.add(msg.core)
-        self._respond(msg, MessageType.LOAD_RESP, line.version)
-        return True
-
     def _fetch_miss(self, msg: Message) -> Union[bool, int]:
-        self._misses.add()
+        self._misses.value += 1
         line_addr = self.array.line_addr(msg.addr)
         mshr = self._mshrs.get(line_addr)
         if mshr is not None:
@@ -144,13 +146,8 @@ class LastLevelCache(QueuedComponent):
             return True
         if len(self._mshrs) >= self.mshr_count:
             return 4
-        fetch = Message(
-            MessageType.LOAD,
-            addr=line_addr,
-            scope=msg.scope,
-            core=msg.core,
-            reply_to=self,
-        )
+        fetch = Message(MessageType.LOAD, line_addr, msg.scope, msg.core,
+                        self)
         if not self.mem_link.offer(fetch, self):
             return False
         mshr = _LlcMshr(msg.exclusive)
@@ -163,9 +160,13 @@ class LastLevelCache(QueuedComponent):
         line_addr = resp.addr
         mshr = self._mshrs.pop(line_addr, None)
         if mshr is None:
+            resp.release()
             return
         scope = resp.scope
         line = self._install(line_addr, scope, resp.version)
+        # The response is consumed; recycle it before answering the
+        # waiters (which draws from the same pool).
+        resp.release()
         sharers = self._dir.setdefault(line_addr, set())
         for waiter in mshr.waiters:
             if waiter.mtype is MessageType.LOAD and not waiter.exclusive:
@@ -234,6 +235,7 @@ class LastLevelCache(QueuedComponent):
             sharers = self._dir.get(line.addr)
             if sharers is not None:
                 sharers.discard(msg.core)
+            msg.release()  # absorbed: writebacks get no response
             return True
         # Inclusive-violation race (we already evicted): pass to memory.
         return self._forward_mem(msg)
@@ -254,8 +256,9 @@ class LastLevelCache(QueuedComponent):
                 version = line_version
             dirty = dirty or line_dirty
         if dirty:
-            wb = Message(MessageType.WRITEBACK, addr=msg.addr, scope=msg.scope,
-                         core=msg.core, version=version)
+            wb = Message.acquire(MessageType.WRITEBACK, addr=msg.addr,
+                                 scope=msg.scope, core=msg.core,
+                                 version=version)
             if not self.mem_link.offer(wb, self):
                 return False
         self._respond(msg, MessageType.FLUSH_ACK, version)
@@ -305,16 +308,17 @@ class LastLevelCache(QueuedComponent):
         self.sbv.record_scan(len(set_indices))
         latency = max(1, len(set_indices) * self.config.scan_cycles_per_set)
         self._scan_latency.sample(latency)
+        take = self.array.take_scope_lines
+        update = self.sbv.update_on_eviction
         for index in set_indices:
-            for line in self.array.lines_in_set(index):
-                if line.scope == scope:
-                    dirty, version = self._recall_line(line)
-                    self.array.remove(line.addr)
-                    self._dir.pop(line.addr, None)
-                    self._flushed_lines.add()
-                    if dirty:
-                        self._queue_writeback(line.addr, line.scope, version)
-            self.sbv.update_on_eviction(index, self.array.set_has_pim_line(index))
+            flushed, has_pim = take(index, scope)
+            for line in flushed:
+                dirty, version = self._recall_line(line)
+                self._dir.pop(line.addr, None)
+                self._flushed_lines.value += 1
+                if dirty:
+                    self._queue_writeback(line.addr, line.scope, version)
+            update(index, has_pim)
         self.scope_buffer.insert(scope)
         return latency
 
@@ -325,7 +329,8 @@ class LastLevelCache(QueuedComponent):
 
     def _queue_writeback(self, addr: int, scope: Optional[int], version: int) -> None:
         self._pending_wbs.append(
-            Message(MessageType.WRITEBACK, addr=addr, scope=scope, version=version)
+            Message.acquire(MessageType.WRITEBACK, addr=addr, scope=scope,
+                            version=version)
         )
         self._drain_writebacks()
 
@@ -345,4 +350,4 @@ class LastLevelCache(QueuedComponent):
 
     def _respond(self, req: Message, mtype: MessageType, version: int) -> None:
         resp = req.make_response(mtype, version=version)
-        self.sim.schedule(self.config.hit_latency, self.resp_net.offer, resp, None)
+        self.sim.schedule(self._hit_latency, self.resp_net.offer, resp, None)

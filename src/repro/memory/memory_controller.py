@@ -46,7 +46,8 @@ class MemoryController(Component):
         self.resp_net = resp_net
         self.pim_module = pim_module
         self._queue: List[Message] = []
-        self._waiting_senders: list = []
+        # Insertion-ordered dedup of parked senders (O(1) membership).
+        self._waiting_senders: dict = {}
         self._busy = False
         #: PIM ops per scope that passed this MC and have not finished
         #: executing (kept for statistics and external queries).
@@ -54,26 +55,32 @@ class MemoryController(Component):
         self.stats = StatGroup(name)
         self._served = self.stats.counter("requests_served")
         self._pim_forwarded = self.stats.counter("pim_ops_forwarded")
-        self._queue_len = self.stats.mean("queue_length_at_arrival")
+        self._queue_len = self.stats.mean("queue_length_at_arrival",
+                                          extremes=False)
 
     # ------------------------------------------------------------------ #
     # producer side
     # ------------------------------------------------------------------ #
 
     def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
-        if len(self._queue) >= self.config.queue_capacity:
-            if sender is not None and sender not in self._waiting_senders:
-                self._waiting_senders.append(sender)
+        queue = self._queue
+        if len(queue) >= self.config.queue_capacity:
+            if sender is not None:
+                self._waiting_senders[sender] = None
             return False
-        self._queue_len.sample(len(self._queue))
-        self._queue.append(msg)
+        stat = self._queue_len
+        stat.total += len(queue)
+        stat.count += 1
+        queue.append(msg)
         if msg.mtype is MessageType.PIM_OP:
             # Arrival at the MC is the ordering point: ACK now (Fig. 6a-b).
             self.scope_inflight[msg.scope] = self.scope_inflight.get(msg.scope, 0) + 1
             if msg.reply_to is not None:
                 ack = msg.make_response(MessageType.PIM_ACK)
                 self.resp_net.offer(ack, None)
-        self.sim.schedule(0, self._serve)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        sim._ring.append((seq, self._serve, ()))
         return True
 
     # ------------------------------------------------------------------ #
@@ -81,30 +88,30 @@ class MemoryController(Component):
     # ------------------------------------------------------------------ #
 
     def _serve(self) -> None:
-        progress = True
-        while progress and self._queue:
-            progress = False
+        queue = self._queue
+        while queue:
             index = self._pick()
             if index is None:
                 return
-            msg = self._queue[index]
+            msg = queue[index]
             if msg.scope is not None and self.pim_module is not None:
                 # PIM-memory traffic: hand over to the module (its queues
                 # were checked by _pick, so this cannot fail).
-                self._queue.pop(index)
+                queue.pop(index)
                 self.pim_module.offer(msg, self)
                 if msg.mtype is MessageType.PIM_OP:
-                    self._pim_forwarded.add()
-                self._served.add()
-                self._wake_senders()
-                progress = True
+                    self._pim_forwarded.value += 1
+                self._served.value += 1
+                if self._waiting_senders:
+                    self._wake_senders()
                 continue
             if self._busy:
                 return
             # DRAM service: one message per service interval.
-            self._queue.pop(index)
-            self._served.add()
-            self._wake_senders()
+            queue.pop(index)
+            self._served.value += 1
+            if self._waiting_senders:
+                self._wake_senders()
             self._busy = True
             self.sim.schedule(self.config.dram_service_interval, self._service_done)
             self._service_dram(msg)
@@ -114,6 +121,7 @@ class MemoryController(Component):
         mtype = msg.mtype
         if mtype is MessageType.WRITEBACK:
             self.memory.write(msg.addr, msg.version)
+            msg.release()  # terminal: writebacks get no response
         elif mtype is MessageType.LOAD:
             version = self.memory.read(msg.addr)
             resp = msg.make_response(MessageType.LOAD_RESP, version=version)
@@ -139,34 +147,37 @@ class MemoryController(Component):
         FIFO; PIM-scope messages stay FIFO per scope (they are handed to
         the PIM module, which preserves arrival order per scope) and are
         only picked when the module's corresponding queue has room.
+
+        The dependency context (lines / scopes already seen) accumulates
+        in one forward walk instead of re-scanning the queue prefix per
+        candidate -- this loop runs for every message the MC serves.
         """
         module = self.pim_module
+        busy = self._busy
+        seen_lines = None  # line addrs of earlier non-scope messages
+        seen_scopes = None  # scopes of earlier scope-carrying messages
         for i, msg in enumerate(self._queue):
-            if msg.scope is not None and module is not None:
-                if not module.can_accept(msg):
-                    continue
-                if self._earlier_same_scope(i, msg.scope):
-                    continue
+            scope = msg.scope
+            if scope is not None and module is not None:
+                if module.can_accept(msg) and (seen_scopes is None
+                                               or scope not in seen_scopes):
+                    return i
+            elif not busy and (seen_lines is None
+                               or (msg.addr & ~63) not in seen_lines):
                 return i
-            if self._busy:
-                continue  # the DRAM service resource is occupied
-            if self._earlier_same_line(i, msg.addr):
-                continue
-            return i
+            # Passed over: record the ordering constraints it imposes on
+            # everything younger (same-line FIFO for DRAM traffic,
+            # same-scope FIFO for PIM-memory traffic).
+            if scope is None:
+                if seen_lines is None:
+                    seen_lines = {msg.addr & ~63}
+                else:
+                    seen_lines.add(msg.addr & ~63)
+            elif seen_scopes is None:
+                seen_scopes = {scope}
+            else:
+                seen_scopes.add(scope)
         return None
-
-    def _earlier_same_line(self, index: int, addr: int) -> bool:
-        line = addr & ~63
-        for m in self._queue[:index]:
-            if m.scope is None and (m.addr & ~63) == line:
-                return True
-        return False
-
-    def _earlier_same_scope(self, index: int, scope: int) -> bool:
-        for m in self._queue[:index]:
-            if m.scope == scope:
-                return True
-        return False
 
     # ------------------------------------------------------------------ #
     # PIM module callbacks
@@ -179,17 +190,17 @@ class MemoryController(Component):
             self.scope_inflight.pop(scope, None)
         else:
             self.scope_inflight[scope] = count
-        self.sim.schedule(0, self._serve)
+        self.sim.call_at_now(self._serve)
 
     def unblock(self) -> None:
         """The PIM module freed queue space."""
-        self.sim.schedule(0, self._serve)
+        self.sim.call_at_now(self._serve)
 
     def _wake_senders(self) -> None:
-        if self._waiting_senders:
-            waiters, self._waiting_senders = self._waiting_senders, []
-            for waiter in waiters:
-                waiter.unblock()
+        waiters = self._waiting_senders
+        self._waiting_senders = {}
+        for waiter in waiters:
+            waiter.unblock()
 
     @property
     def occupancy(self) -> int:

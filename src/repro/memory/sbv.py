@@ -11,36 +11,45 @@ The mean skipped-set ratio during scans is Fig. 10d / Fig. 12c.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
 from repro.sim.stats import StatGroup
 
 
 class ScopeBitVector:
-    """Tracks which cache sets may contain PIM-enabled lines."""
+    """Tracks which cache sets may contain PIM-enabled lines.
+
+    Hardware is one bit per set; the model keeps the *high* bits in a
+    set of indices instead of a dense bool list, so enumerating the
+    sets a scan must visit costs O(marked) rather than O(num_sets) --
+    scans are the simulator's single most expensive handler.
+    """
 
     def __init__(self, num_sets: int, stats: StatGroup = None) -> None:
         if num_sets <= 0:
             raise ValueError("need at least one set")
         self.num_sets = num_sets
-        self._bits: List[bool] = [False] * num_sets
+        self._marked: Set[int] = set()
         self.stats = stats if stats is not None else StatGroup("sbv")
         self._skip_ratio = self.stats.ratio("skipped_set_ratio")
 
     def mark(self, set_index: int) -> None:
         """A PIM line was inserted into ``set_index``."""
-        self._bits[set_index] = True
+        self._marked.add(set_index)
 
     def update_on_eviction(self, set_index: int, set_still_has_pim: bool) -> None:
         """A PIM line left ``set_index``; re-check the set's remaining lines."""
-        self._bits[set_index] = set_still_has_pim
+        if set_still_has_pim:
+            self._marked.add(set_index)
+        else:
+            self._marked.discard(set_index)
 
     def is_marked(self, set_index: int) -> bool:
-        return self._bits[set_index]
+        return set_index in self._marked
 
     def sets_to_scan(self) -> List[int]:
-        """Set indices a scope scan must visit (the high bits)."""
-        return [i for i, bit in enumerate(self._bits) if bit]
+        """Set indices a scope scan must visit (the high bits), ascending."""
+        return sorted(self._marked)
 
     def record_scan(self, scanned: int) -> None:
         """Account one scan: ``scanned`` sets visited out of ``num_sets``."""
@@ -51,7 +60,7 @@ class ScopeBitVector:
         return self._skip_ratio.ratio
 
     def popcount(self) -> int:
-        return sum(self._bits)
+        return len(self._marked)
 
     # -- analytical area model ------------------------------------------ #
 

@@ -19,13 +19,14 @@ class VersionedMemory:
 
     def __init__(self, line_bytes: int = 64) -> None:
         self.line_bytes = line_bytes
+        self._line_mask = ~(line_bytes - 1)
         self._versions: Dict[int, int] = {}
 
     def line_addr(self, addr: int) -> int:
-        return addr & ~(self.line_bytes - 1)
+        return addr & self._line_mask
 
     def read(self, addr: int) -> int:
-        return self._versions.get(self.line_addr(addr), 0)
+        return self._versions.get(addr & self._line_mask, 0)
 
     def write(self, addr: int, version: int) -> None:
         """A writeback/store installs data of the given version.
@@ -35,13 +36,13 @@ class VersionedMemory:
         the memory controller preserve same-scope dependency order, so
         this models the array's last-writer-wins at line granularity).
         """
-        line = self.line_addr(addr)
+        line = addr & self._line_mask
         if version > self._versions.get(line, 0):
             self._versions[line] = version
 
     def bump(self, addr: int) -> int:
         """In-place increment (host store directly to memory)."""
-        line = self.line_addr(addr)
+        line = addr & self._line_mask
         version = self._versions.get(line, 0) + 1
         self._versions[line] = version
         return version

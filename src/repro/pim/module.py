@@ -75,16 +75,24 @@ class PimModule(Component):
         #: Per-scope FIFO of pending messages (arrival order = dependency
         #: order; Section V-A).
         self._scope_queues: Dict[int, deque] = {}
+        #: scope -> queued (not yet started) PIM ops in that scope's FIFO,
+        #: maintained incrementally so the Fig. 10b statistic doesn't
+        #: rescan every queue on every op arrival.
+        self._queued_ops_by_scope: Dict[int, int] = {}
+        self._scopes_with_queued_ops = 0
         #: Scopes whose head item is currently being processed.
         self._busy_scopes: Dict[int, Message] = {}
         self._buffered_ops = 0
         self._queued_accesses = 0
         #: Scopes whose head PIM op is waiting on max_concurrent_scopes.
         self._throttled: set = set()
-        self._waiting_senders: list = []
+        # Insertion-ordered dedup of parked senders (O(1) membership).
+        self._waiting_senders: dict = {}
         self.stats = StatGroup(name)
-        self._buffer_at_arrival = self.stats.mean("buffer_len_at_arrival")
-        self._scopes_at_arrival = self.stats.mean("unique_scopes_at_arrival")
+        self._buffer_at_arrival = self.stats.mean("buffer_len_at_arrival",
+                                                  extremes=False)
+        self._scopes_at_arrival = self.stats.mean("unique_scopes_at_arrival",
+                                                  extremes=False)
         self._executed = self.stats.counter("ops_executed")
         self._accesses = self.stats.counter("accesses_served")
 
@@ -122,25 +130,34 @@ class PimModule(Component):
         if msg.mtype not in self.ACCEPTED_TYPES:
             raise ValueError(f"the PIM module cannot service {msg.mtype}")
         if not self.can_accept(msg):
-            if sender is not None and sender not in self._waiting_senders:
-                self._waiting_senders.append(sender)
+            if sender is not None:
+                self._waiting_senders[sender] = None
             return False
         if msg.mtype is MessageType.PIM_OP:
             # Fig. 10a/b statistics: sampled at op arrival, before insertion.
-            self._buffer_at_arrival.sample(self._buffered_ops)
-            self._scopes_at_arrival.sample(self._unique_buffered_scopes())
+            stat = self._buffer_at_arrival
+            stat.total += self._buffered_ops
+            stat.count += 1
+            stat = self._scopes_at_arrival
+            stat.total += self._scopes_with_queued_ops
+            stat.count += 1
             self._buffered_ops += 1
+            count = self._queued_ops_by_scope.get(msg.scope, 0)
+            self._queued_ops_by_scope[msg.scope] = count + 1
+            if count == 0:
+                self._scopes_with_queued_ops += 1
         elif not self._conflicts_with_ops(msg):
             # Record-data access: its arrays are not written by PIM ops;
             # serve it directly at the access rate.
-            self.sim.schedule(self.ACCESS_SERVICE_INTERVAL, self._serve_access, msg)
+            self.sim.schedule(self.ACCESS_SERVICE_INTERVAL,
+                              self._serve_direct, msg)
             return True
         else:
             self._queued_accesses += 1
         queue = self._scope_queues.setdefault(msg.scope, deque())
         queue.append(msg)
         if msg.scope not in self._busy_scopes:
-            self.sim.schedule(0, self._advance_scope, msg.scope)
+            self.sim.call_at_now(self._advance_scope, msg.scope)
         return True
 
     def _conflicts_with_ops(self, msg: Message) -> bool:
@@ -151,10 +168,8 @@ class PimModule(Component):
         return (msg.addr & ~63) in result_lines
 
     def _unique_buffered_scopes(self) -> int:
-        return sum(
-            1 for q in self._scope_queues.values()
-            if any(m.mtype is MessageType.PIM_OP for m in q)
-        )
+        """Scopes with at least one queued (not yet started) PIM op."""
+        return self._scopes_with_queued_ops
 
     # ------------------------------------------------------------------ #
     # per-scope in-order processing
@@ -174,16 +189,33 @@ class PimModule(Component):
         self._busy_scopes[scope] = msg
         if msg.mtype is MessageType.PIM_OP:
             self._buffered_ops -= 1
-            self._wake_senders()
+            count = self._queued_ops_by_scope[scope] - 1
+            self._queued_ops_by_scope[scope] = count
+            if count == 0:
+                self._scopes_with_queued_ops -= 1
+            if self._waiting_senders:
+                self._wake_senders()
             self.sim.schedule(self._latency_of(msg), self._complete_op, msg)
         else:
             self._queued_accesses -= 1
-            self._wake_senders()
+            if self._waiting_senders:
+                self._wake_senders()
             self._serve_access(msg)
             self.sim.schedule(self.ACCESS_SERVICE_INTERVAL, self._scope_done, scope)
 
+    def _serve_direct(self, msg: Message) -> None:
+        """Serve an access that bypassed the per-scope FIFO.
+
+        Nothing else references the message afterwards, so a terminal
+        writeback can recycle immediately (FIFO-ordered accesses keep
+        their message alive in ``_busy_scopes`` until ``_scope_done``).
+        """
+        self._serve_access(msg)
+        if msg.mtype is MessageType.WRITEBACK:
+            msg.release()
+
     def _serve_access(self, msg: Message) -> None:
-        self._accesses.add()
+        self._accesses.value += 1
         mtype = msg.mtype
         if mtype is MessageType.LOAD:
             version = self.memory.read(msg.addr)
@@ -219,7 +251,7 @@ class PimModule(Component):
         return running_ops >= limit
 
     def _complete_op(self, msg: Message) -> None:
-        self._executed.add()
+        self._executed.value += 1
         if self.on_execute is not None:
             self.on_execute(msg)
         if self.mc is not None:
@@ -231,11 +263,16 @@ class PimModule(Component):
                 self._advance_scope(other)
 
     def _scope_done(self, scope: int) -> None:
-        self._busy_scopes.pop(scope, None)
+        msg = self._busy_scopes.pop(scope, None)
+        if msg is not None and msg.mtype is MessageType.WRITEBACK:
+            # Terminal (no response) and no longer referenced: recycle.
+            # Releasing earlier, in _serve_access, would put a message
+            # still held in _busy_scopes back into the pool.
+            msg.release()
         self._advance_scope(scope)
 
     def _wake_senders(self) -> None:
-        if self._waiting_senders:
-            waiters, self._waiting_senders = self._waiting_senders, []
-            for waiter in waiters:
-                waiter.unblock()
+        waiters = self._waiting_senders
+        self._waiting_senders = {}
+        for waiter in waiters:
+            waiter.unblock()

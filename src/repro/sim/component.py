@@ -15,6 +15,13 @@ buffer fills, back-pressure propagates up to the host cores (Section VII).
   until some downstream calls :meth:`unblock`.
 * return ``int n > 0`` -- busy for ``n`` cycles (e.g. an LLC scan), after
   which ``handle`` is invoked again for the same message.
+
+Hot-path notes: service kick-offs and wake-ups ride the kernel's
+immediate-dispatch ring (:meth:`Simulator.call_at_now`), never the heap;
+parked senders are kept in an insertion-ordered dict so the full-queue
+path is O(1) instead of a list-membership scan; the per-message service
+events are unavoidable (they advance simulated time) but everything
+around them stays allocation- and call-minimal.
 """
 
 from __future__ import annotations
@@ -61,9 +68,20 @@ class QueuedComponent(Component):
         self.capacity = capacity
         self.service_interval = service_interval
         self._queue: deque = deque()
-        self._waiting_senders: list = []
+        # Insertion-ordered dedup of parked senders: dict membership is
+        # O(1) where the old list scan was O(n), and iteration preserves
+        # first-parked-first-woken order.
+        self._waiting_senders: dict = {}
         self._serving = False
         self._stalled = False
+        # Skip the on_enqueue/on_dequeue hook calls entirely for the
+        # (common) subclasses that don't override them.
+        self._notify_enqueue = (
+            type(self).on_enqueue is not QueuedComponent.on_enqueue
+        )
+        self._notify_dequeue = (
+            type(self).on_dequeue is not QueuedComponent.on_dequeue
+        )
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -76,15 +94,22 @@ class QueuedComponent(Component):
         sender (if given) will get an :meth:`unblock` call once space
         frees; it must then retry the offer.
         """
-        if self.capacity is not None and len(self._queue) >= self.capacity:
-            if sender is not None and sender not in self._waiting_senders:
-                self._waiting_senders.append(sender)
+        queue = self._queue
+        capacity = self.capacity
+        if capacity is not None and len(queue) >= capacity:
+            if sender is not None:
+                self._waiting_senders[sender] = None
             return False
-        self._queue.append(msg)
-        self.on_enqueue(msg)
+        queue.append(msg)
+        if self._notify_enqueue:
+            self.on_enqueue(msg)
         if not self._serving and not self._stalled:
             self._serving = True
-            self.sim.schedule(0, self._serve)
+            # Inlined Simulator.call_at_now: this kick runs once per
+            # idle-to-busy transition of every pipeline stage.
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._ring.append((seq, self._serve, ()))
         return True
 
     def on_enqueue(self, msg: Message) -> None:
@@ -112,35 +137,49 @@ class QueuedComponent(Component):
             self._stalled = False
             if not self._serving:
                 self._serving = True
-                self.sim.schedule(0, self._serve)
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                sim._ring.append((seq, self._serve, ()))
 
     def _serve(self) -> None:
-        if not self._queue:
-            self._serving = False
-            return
-        result = self.handle(self._queue[0])
-        if result is True:
-            self._queue.popleft()
-            self.on_dequeue()
-            self._wake_senders()
-            if self._queue:
-                self.sim.schedule(self.service_interval, self._serve)
-            else:
+        queue = self._queue
+        # Loop inline over ready work: a zero-interval stage (and the
+        # first message after an idle gap) is served without bouncing
+        # through the scheduler again.
+        while True:
+            if not queue:
                 self._serving = False
-        elif result is False:
-            self._serving = False
-            self._stalled = True
-        else:
-            self.sim.schedule(int(result), self._serve)
+                return
+            result = self.handle(queue[0])
+            if result is True:
+                queue.popleft()
+                if self._notify_dequeue:
+                    self.on_dequeue()
+                if self._waiting_senders:
+                    self._wake_senders()
+                if not queue:
+                    self._serving = False
+                    return
+                interval = self.service_interval
+                if interval:
+                    self.sim.schedule(interval, self._serve)
+                    return
+            elif result is False:
+                self._serving = False
+                self._stalled = True
+                return
+            else:
+                self.sim.schedule(result, self._serve)
+                return
 
     def on_dequeue(self) -> None:
         """Hook: called after the head message is consumed."""
 
     def _wake_senders(self) -> None:
-        if self._waiting_senders:
-            waiters, self._waiting_senders = self._waiting_senders, []
-            for waiter in waiters:
-                waiter.unblock()
+        waiters = self._waiting_senders
+        self._waiting_senders = {}
+        for waiter in waiters:
+            waiter.unblock()
 
 
 class Link(QueuedComponent):
@@ -169,31 +208,82 @@ class Link(QueuedComponent):
         self.pipe_capacity = pipe_capacity or max(2, latency)
         self._in_flight: deque = deque()
         self._delivering = False
+        # Deliveries into a ResponseDispatcher can never be refused, so
+        # the delivery loop hands those straight to ``msg.reply_to``
+        # without bouncing through offer().
+        self._dispatch_direct = isinstance(downstream, ResponseDispatcher)
 
-    def handle(self, msg: Message) -> Union[bool, int]:
-        if len(self._in_flight) >= self.pipe_capacity:
-            return False  # pipe full; unblocked when a delivery completes
-        self._in_flight.append((self.sim.now + self.latency, msg))
-        if not self._delivering:
-            self._delivering = True
-            self.sim.schedule(self.latency, self._try_deliver)
-        return True
+    def _serve(self) -> None:
+        # Fuses QueuedComponent._serve with what Link.handle would do
+        # (links carry every message in the system, so the service stage
+        # skips the generic handle() dispatch): accept the head message
+        # into the in-flight pipe unless the pipe is at capacity, in
+        # which case stall until a delivery completes.  This override is
+        # the Link's only service path -- there is deliberately no
+        # separate handle() to keep the logic in one place.
+        sim = self.sim
+        while True:
+            queue = self._queue
+            if not queue:
+                self._serving = False
+                return
+            in_flight = self._in_flight
+            if len(in_flight) >= self.pipe_capacity:
+                self._serving = False
+                self._stalled = True
+                return
+            latency = self.latency
+            in_flight.append((sim.now + latency, queue.popleft()))
+            if not self._delivering:
+                self._delivering = True
+                sim.schedule(latency, self._try_deliver)
+            if self._waiting_senders:
+                self._wake_senders()
+            if not queue:
+                self._serving = False
+                return
+            interval = self.service_interval
+            if interval:
+                sim.schedule(interval, self._serve)
+                return
 
     def _try_deliver(self) -> None:
-        while self._in_flight:
-            arrival, msg = self._in_flight[0]
-            if arrival > self.sim.now:
-                self.sim.schedule_at(arrival, self._try_deliver)
+        in_flight = self._in_flight
+        sim = self.sim
+        now = sim.now
+        if self._dispatch_direct:
+            # Response-network fast path: the dispatcher always accepts,
+            # so deliver straight to each message's reply_to.
+            while in_flight:
+                head = in_flight[0]
+                arrival = head[0]
+                if arrival > now:
+                    sim.schedule(arrival - now, self._try_deliver)
+                    return
+                in_flight.popleft()
+                msg = head[1]
+                msg.reply_to.receive_response(msg)
+                if self._stalled:
+                    QueuedComponent.unblock(self)
+            self._delivering = False
+            return
+        downstream_offer = self.downstream.offer
+        while in_flight:
+            head = in_flight[0]
+            arrival = head[0]
+            if arrival > now:
+                sim.schedule(arrival - now, self._try_deliver)
                 return
-            if not self.downstream.offer(msg, self):
+            if not downstream_offer(head[1], self):
                 # Downstream full: it will call our unblock() when space
                 # frees; resume delivering then.
                 self._delivering = False
                 return
-            self._in_flight.popleft()
+            in_flight.popleft()
             # Delivering freed pipe space; resume the service stage if it
             # was blocked on pipe capacity.
-            super().unblock()
+            if self._stalled:
+                QueuedComponent.unblock(self)
         self._delivering = False
 
     def unblock(self) -> None:
@@ -201,8 +291,8 @@ class Link(QueuedComponent):
         # wake-up for the service stage.
         if self._in_flight and not self._delivering:
             self._delivering = True
-            self.sim.schedule(0, self._try_deliver)
-        super().unblock()
+            self.sim.call_at_now(self._try_deliver)
+        QueuedComponent.unblock(self)
 
 
 class ResponseDispatcher(Component):
@@ -210,7 +300,9 @@ class ResponseDispatcher(Component):
 
     Response consumers (cores, entry points) are assumed to always accept;
     they model their own capacity internally (e.g. MLP limits are enforced
-    at issue time, not at response delivery).
+    at issue time, not at response delivery).  Each consumer's
+    ``receive_response`` owns the message afterwards and releases pooled
+    responses back to the free list.
     """
 
     def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:

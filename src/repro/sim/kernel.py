@@ -5,12 +5,23 @@ The simulator is a classic discrete-event kernel: a priority queue of
 at relative delays; the loop pops events in time order and runs them.  Time
 is measured in *clock cycles* of the host processor (3.6 GHz in the paper's
 Table II); converting to seconds is the job of the reporting layer.
+
+Hot-path design: zero-delay events -- the continuation trampolines that
+dominate pipeline simulations (``offer`` -> ``_serve``, ``unblock`` ->
+retry) -- never touch the heap.  They go onto an *immediate-dispatch ring*
+(a FIFO) that the run loop drains at the current cycle.  Global event
+order is nevertheless byte-identical to a pure-heap kernel: every event
+still carries the global sequence number, and the loop interleaves ring
+and heap entries at the same cycle in sequence order.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
+
+from repro.sim import messages as _messages
 
 
 class SimulationError(RuntimeError):
@@ -31,14 +42,17 @@ class Simulator:
     5
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_events_executed", "_running")
+    __slots__ = ("now", "_queue", "_ring", "_seq", "_events_executed",
+                 "_running", "_stop")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._queue: list = []
+        self._ring: deque = deque()
         self._seq: int = 0
         self._events_executed: int = 0
         self._running = False
+        self._stop = False
 
     @property
     def events_executed(self) -> int:
@@ -50,17 +64,44 @@ class Simulator:
 
         Events scheduled at the same cycle run in scheduling order (the
         sequence number breaks ties), which keeps runs deterministic.
+        Zero-delay events go onto the immediate-dispatch ring and never
+        touch the heap.
         """
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, args))
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
+            self._seq = seq = self._seq + 1
+            self._ring.append((seq, callback, args))
+            return
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, seq, callback, args))
+
+    def call_at_now(self, callback: Callable, *args: Any) -> None:
+        """Fast path for ``schedule(0, ...)``: no delay validation at all.
+
+        NOTE: the hottest kick sites (QueuedComponent.offer/unblock,
+        Core._schedule_step, MemoryController.offer) inline this body to
+        skip the call frame -- change the ring-entry shape here and
+        there together.
+        """
+        self._seq = seq = self._seq + 1
+        self._ring.append((seq, callback, args))
 
     def schedule_at(self, time: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute cycle ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
         self.schedule(time - self.now, callback, *args)
+
+    def stop(self) -> None:
+        """Stop the run loop after the event currently executing.
+
+        Cheaper than a ``stop_when`` predicate: callers that know the
+        stopping condition flipped (e.g. the last core finished) set the
+        flag from inside their event instead of the kernel polling a
+        Python callable after every event.
+        """
+        self._stop = True
 
     def run(
         self,
@@ -79,25 +120,87 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
+            # Local aliases: this loop is the hottest code in the package.
             queue = self._queue
-            while queue:
-                time, _seq, callback, args = queue[0]
-                if until is not None and time > until:
-                    self.now = until
+            ring = self._ring
+            pop = heapq.heappop
+            popleft = ring.popleft
+            events = self._events_executed
+            if until is not None and self.now > until:
+                return
+            # True while the heap may still hold events at the current
+            # cycle.  It can only flip False->True when time advances:
+            # zero-delay work goes to the ring, so callbacks can never
+            # push a heap entry at the *current* cycle.  Once the heap
+            # head moves past `now`, ring entries dispatch with no heap
+            # peeking at all -- the common case.
+            heap_at_now = True
+            while True:
+                if ring:
+                    if heap_at_now:
+                        # Heap events at the current cycle that were
+                        # scheduled before the ring head keep their
+                        # place in line.
+                        seq = ring[0][0]
+                        now = self.now
+                        while queue:
+                            head = queue[0]
+                            if head[0] != now:
+                                heap_at_now = False
+                                break
+                            if head[1] > seq:
+                                break
+                            pop(queue)
+                            head[2](*head[3])
+                            self._events_executed = events = events + 1
+                            if max_events is not None and events >= max_events:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events} "
+                                    f"at cycle {self.now}"
+                                )
+                            if self._stop:
+                                self._stop = False
+                                return
+                            if stop_when is not None and stop_when():
+                                return
+                        else:
+                            heap_at_now = False
+                    entry = popleft()
+                    entry[1](*entry[2])
+                elif queue:
+                    head = queue[0]
+                    time = head[0]
+                    if until is not None and time > until:
+                        self.now = until
+                        return
+                    pop(queue)
+                    self.now = time
+                    heap_at_now = True
+                    head[2](*head[3])
+                else:
                     return
-                heapq.heappop(queue)
-                self.now = time
-                callback(*args)
-                self._events_executed += 1
-                if max_events is not None and self._events_executed >= max_events:
+                self._events_executed = events = events + 1
+                if max_events is not None and events >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} at cycle {self.now}"
                     )
+                if self._stop:
+                    self._stop = False
+                    return
                 if stop_when is not None and stop_when():
                     return
         finally:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of events waiting in the queue."""
-        return len(self._queue)
+        """Number of events waiting (dispatch ring + heap)."""
+        return len(self._queue) + len(self._ring)
+
+    def reset_ids(self) -> None:
+        """Reset the process-global message id counter and free-list pool.
+
+        Call between experiments in one process so ``op_id`` sequences
+        (and pooled-message identity) are reproducible per run; this is
+        what keeps the Serial and ProcessPool backends byte-identical.
+        """
+        _messages.reset_ids()

@@ -52,6 +52,26 @@ _RESPONSES = frozenset(
 
 _ids = itertools.count()
 
+#: Free list of released :class:`Message` instances (the *message pool*).
+#: Steady-state simulation reuses these instead of allocating: every
+#: response (and the request it answers, once the response kind proves the
+#: request finished) is released back here on delivery.
+_pool: list = []
+
+
+def reset_ids() -> None:
+    """Reset the ``op_id`` counter and drop the message pool.
+
+    Run engines call this at the start of every experiment so that op-id
+    sequences don't leak monotonically across experiments in one process
+    -- the Serial and ProcessPool backends must produce byte-identical
+    runs, and a forked worker would otherwise inherit whatever counter
+    state the parent had reached.
+    """
+    global _ids
+    _ids = itertools.count()
+    _pool.clear()
+
 
 class Message:
     """One request or response in flight through the memory system.
@@ -86,6 +106,7 @@ class Message:
         "op_id",
         "req",
         "issue_time",
+        "_pooled",
     )
 
     def __init__(
@@ -112,17 +133,89 @@ class Message:
         self.op_id = next(_ids)
         self.req: Optional[Message] = None
         self.issue_time: int = 0
+        #: Only messages acquired from the pool may return to it; this
+        #: keeps externally constructed messages (tests, workload code)
+        #: out of the recycling loop, so holding one across a run can
+        #: never observe it being reused.
+        self._pooled = False
+
+    @classmethod
+    def acquire(
+        cls,
+        mtype: MessageType,
+        addr: int = 0,
+        scope: Optional[int] = None,
+        core: int = 0,
+        reply_to: Any = None,
+        exclusive: bool = False,
+        uncacheable: bool = False,
+        direct: bool = False,
+        version: int = 0,
+    ) -> "Message":
+        """A message from the free-list pool (allocating on a pool miss).
+
+        Identical to the constructor -- including drawing a fresh
+        ``op_id`` -- except the instance may be recycled, so callers must
+        drop every reference once :meth:`release` has been called.
+        """
+        if _pool:
+            msg = _pool.pop()
+            msg.mtype = mtype
+            msg.addr = addr
+            msg.scope = scope
+            msg.core = core
+            msg.reply_to = reply_to
+            msg.exclusive = exclusive
+            msg.uncacheable = uncacheable
+            msg.direct = direct
+            msg.version = version
+            msg.op_id = next(_ids)
+            msg.req = None
+            msg.issue_time = 0
+            msg._pooled = True
+            return msg
+        msg = cls(mtype, addr, scope, core, reply_to, exclusive,
+                  uncacheable, direct, version)
+        msg._pooled = True
+        return msg
+
+    def release(self) -> None:
+        """Return a pooled message to the free list (no-op otherwise).
+
+        Idempotent: releasing twice, or releasing a message built with
+        the plain constructor, does nothing.
+        """
+        if self._pooled:
+            self._pooled = False
+            self.reply_to = None
+            self.req = None
+            _pool.append(self)
 
     def make_response(self, mtype: MessageType, version: int = 0) -> "Message":
-        """Build the response message answering this request."""
-        resp = Message(
-            mtype,
-            addr=self.addr,
-            scope=self.scope,
-            core=self.core,
-            reply_to=self.reply_to,
-            version=version,
-        )
+        """Build the response message answering this request.
+
+        Responses come from the free-list pool (this is the hottest
+        allocation site in the simulator) and are released back to it by
+        the consumer's ``receive_response``.
+        """
+        if _pool:
+            resp = _pool.pop()
+            resp.mtype = mtype
+            resp.addr = self.addr
+            resp.scope = self.scope
+            resp.core = self.core
+            resp.reply_to = self.reply_to
+            resp.exclusive = False
+            resp.uncacheable = False
+            resp.direct = False
+            resp.version = version
+            resp.op_id = next(_ids)
+            resp.issue_time = 0
+            resp._pooled = True
+        else:
+            resp = Message(mtype, self.addr, self.scope, self.core,
+                           self.reply_to, version=version)
+            resp._pooled = True
         resp.req = self
         return resp
 

@@ -4,17 +4,29 @@ The paper reports sampled means (e.g. Fig. 10a: mean PIM-module buffer
 length *on PIM op arrival*), ratios (Fig. 9 scope-buffer hit rate,
 Fig. 10d SBV skipped-set ratio) and plain counters.  These small classes
 keep that bookkeeping uniform and cheap.
+
+Hot-path conventions: callers on simulator fast paths increment
+``counter.value`` directly (or keep a plain int and register a
+:meth:`StatGroup.register_flush` callback that syncs it at snapshot
+time) instead of paying a method call per event, and sample hot means
+through :meth:`StatGroup.mean` with ``extremes=False`` so the per-sample
+min/max branches disappear when nothing reads them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Callable, Dict, Union
 
 Number = Union[int, float]
 
 
 class Counter:
-    """A monotonically increasing event counter."""
+    """A monotonically increasing event counter.
+
+    ``add`` is the convenience API; hot paths write ``counter.value``
+    directly, and batched producers sync a plain local int into ``value``
+    from a flush callback instead of touching the counter per event.
+    """
 
     __slots__ = ("name", "value")
 
@@ -60,18 +72,39 @@ class MeanStat:
         return f"MeanStat({self.name}: mean={self.mean:.3f} n={self.count})"
 
 
+class _PlainMeanStat(MeanStat):
+    """A mean without per-sample min/max tracking (hot-path variant).
+
+    The reporting layer never exports min/max, so samplers on the
+    simulator's hot paths skip the two comparison branches per sample.
+    ``min``/``max`` read as the empty-stat sentinels.
+    """
+
+    __slots__ = ()
+
+    def sample(self, value: Number) -> None:
+        self.total += value
+        self.count += 1
+
+
 class RatioStat:
-    """Hits / lookups style ratio (scope buffer hit rate, SBV skip rate)."""
+    """Hits / lookups style ratio (scope buffer hit rate, SBV skip rate).
+
+    Counters stay integers until ``.ratio`` is read, so arbitrarily long
+    runs accumulate without floating-point precision loss (an int count
+    above 2**53 would silently stop incrementing as a float).
+    """
 
     __slots__ = ("name", "numerator", "denominator")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.numerator: float = 0.0
-        self.denominator: float = 0.0
+        self.numerator: int = 0
+        self.denominator: int = 0
 
     def record(self, hit: bool) -> None:
-        self.numerator += 1 if hit else 0
+        if hit:
+            self.numerator += 1
         self.denominator += 1
 
     def add(self, numerator: Number, denominator: Number) -> None:
@@ -134,6 +167,12 @@ class StatsView:
 class StatGroup:
     """A named bag of statistics, one per component, snapshot-able.
 
+    Components that batch a statistic in a plain local (an int they
+    increment inline) register a flush callback; :meth:`as_dict` runs the
+    callbacks first, so snapshots are always consistent while the hot
+    path never touches a stat object.  Flush callbacks must be
+    idempotent (assign, don't accumulate).
+
     >>> g = StatGroup("llc")
     >>> g.counter("scans").add()
     >>> g.mean("scan_latency").sample(38)
@@ -144,15 +183,27 @@ class StatGroup:
     def __init__(self, name: str) -> None:
         self.name = name
         self._stats: Dict[str, object] = {}
+        self._flushes: list = []
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
 
-    def mean(self, name: str) -> MeanStat:
-        return self._get(name, MeanStat)
+    def mean(self, name: str, extremes: bool = True) -> MeanStat:
+        """A mean stat; ``extremes=False`` skips min/max per sample."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = MeanStat(name) if extremes else _PlainMeanStat(name)
+            self._stats[name] = stat
+        elif not isinstance(stat, MeanStat):
+            raise TypeError(f"stat {name!r} already exists with type {type(stat)}")
+        return stat
 
     def ratio(self, name: str) -> RatioStat:
         return self._get(name, RatioStat)
+
+    def register_flush(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` before every snapshot (idempotent sync)."""
+        self._flushes.append(callback)
 
     def _get(self, name: str, cls):
         stat = self._stats.get(name)
@@ -165,6 +216,8 @@ class StatGroup:
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to ``{name: value}`` for reporting."""
+        for flush in self._flushes:
+            flush()
         out: Dict[str, float] = {}
         for name, stat in self._stats.items():
             if isinstance(stat, Counter):

@@ -58,6 +58,9 @@ class System:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.sim = Simulator()
+        # Fresh op-id sequence and message pool per system: experiments
+        # in one process (and forked pool workers) must be byte-identical.
+        self.sim.reset_ids()
         self.policy = IssuePolicy(config.model)
         self.scope_map = ScopeMap(
             pim_base=config.pim_base,
@@ -112,6 +115,8 @@ class System:
         self.cores: List[Core] = []
         self.barrier: Optional[Barrier] = None
         self._active_cores: List[Core] = []
+        #: Active cores whose ``done`` has not yet fired (run loop stop).
+        self._unfinished = 0
         for core_id in range(config.cores.num_cores):
             l1 = L1Cache(
                 self.sim, f"l1.{core_id}", core_id, config.l1,
@@ -126,6 +131,7 @@ class System:
                 self.sim, f"core.{core_id}", core_id, self.policy, ep,
                 max_outstanding_loads=config.cores.max_outstanding_loads,
                 barrier_cb=self._barrier_arrive,
+                done_cb=self._core_finished,
             )
             self.l1s.append(l1)
             self.entry_points.append(ep)
@@ -194,6 +200,19 @@ class System:
             core.run_program(program)
             self._active_cores.append(core)
 
+    def _core_finished(self, core: Core) -> None:
+        """A core's ``done`` just turned true: count down toward the stop.
+
+        Replaces the old ``stop_when=lambda: all(c.done ...)`` predicate
+        the kernel had to re-evaluate after *every* event -- the cores
+        notify once each instead, and the last one flips the kernel's
+        stop flag from inside its own event, which stops the run at
+        exactly the same cycle the polling version did.
+        """
+        self._unfinished -= 1
+        if self._unfinished <= 0:
+            self.sim.stop()
+
     def run(self, max_events: Optional[int] = None) -> int:
         """Run to completion of all loaded programs; returns the cycle."""
         if not self._active_cores:
@@ -201,10 +220,15 @@ class System:
                 "no programs loaded: call load_programs() before run()"
             )
         active = self._active_cores
-        self.sim.run(
-            max_events=max_events,
-            stop_when=lambda: all(c.done for c in active),
-        )
+        unfinished = 0
+        for core in active:
+            if core.done:
+                core._done_notified = True
+            else:
+                unfinished += 1
+        self._unfinished = unfinished
+        if unfinished:
+            self.sim.run(max_events=max_events)
         if not all(c.done for c in active):
             stuck = [c.name for c in active if not c.done]
             raise RuntimeError(

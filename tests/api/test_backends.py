@@ -65,3 +65,17 @@ def test_experiments_and_results_are_picklable():
     clone = pickle.loads(pickle.dumps(result))
     assert clone.run_time == result.run_time
     assert clone.stats == result.stats
+
+
+def test_backends_produce_identical_stats_views():
+    """Satellite of the kernel overhaul: the typed StatsView namespaces
+    (not just the raw dicts) agree between backends, which relies on the
+    per-run op-id/pool reset in Simulator.reset_ids()."""
+    exp = _experiments()[2]
+    serial = SerialBackend().run(exp)
+    pooled = ProcessPoolBackend(jobs=2).run_all([exp])[0]
+    assert serial.llc.as_dict() == pooled.llc.as_dict()
+    assert serial.pim.as_dict() == pooled.pim.as_dict()
+    assert serial.mc.as_dict() == pooled.mc.as_dict()
+    assert [v.as_dict() for v in serial.cores] == \
+        [v.as_dict() for v in pooled.cores]

@@ -75,3 +75,66 @@ def test_parse_params_literals_and_strings():
                       "sync_per_op": True}
     with pytest.raises(SystemExit, match="key=value"):
         _parse_params(["oops"])
+
+
+def test_perf_subcommand_smoke(capsys, tmp_path):
+    from repro.api.cli import main
+
+    out_path = tmp_path / "perf.json"
+    assert main(["perf", "--configs", "litmus", "--repeats", "1",
+                 "--output", str(out_path)]) == 0
+    printed = capsys.readouterr().out
+    assert "litmus" in printed and "events/sec" in printed
+    import json
+    record = json.loads(out_path.read_text())
+    assert "litmus" in record["configs"]
+
+
+def test_perf_check_flags_digest_mismatch(tmp_path):
+    import json
+
+    from repro.api import perf
+    from repro.api.cli import main
+
+    record = perf.run_suite(["litmus"], repeats=1)
+    # A corrupted baseline digest must fail the check...
+    bad = {"schema": perf.SCHEMA,
+           "configs": {"litmus": dict(record["configs"]["litmus"],
+                                      stats_sha256="0" * 64)}}
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(json.dumps(bad))
+    assert main(["perf", "--configs", "litmus", "--repeats", "1",
+                 "--check", str(bad_path)]) == 1
+    # ...and the genuine record must pass it.
+    good_path = tmp_path / "good.json"
+    good_path.write_text(json.dumps(record))
+    assert main(["perf", "--configs", "litmus", "--repeats", "1",
+                 "--check", str(good_path)]) == 0
+
+
+def test_perf_update_preserves_tracked_schema(tmp_path):
+    """--update must keep the baseline section and recompute speedups,
+    so BENCH_kernel.json stays regenerable by tooling."""
+    import json
+
+    from repro.api import perf
+    from repro.api.cli import main
+
+    record = perf.run_suite(["litmus"], repeats=1)
+    base = {name: dict(cfg, events_per_sec=cfg["events_per_sec"] // 2)
+            for name, cfg in record["configs"].items()}
+    tracked = tmp_path / "BENCH_kernel.json"
+    tracked.write_text(json.dumps({
+        "schema": perf.SCHEMA,
+        "description": "tracked",
+        "baseline": {"kernel": "old", "configs": base},
+        "configs": record["configs"],
+    }))
+    assert main(["perf", "--configs", "litmus", "--repeats", "1",
+                 "--update", str(tracked)]) == 0
+    updated = json.loads(tracked.read_text())
+    assert updated["baseline"]["configs"] == base
+    assert updated["description"] == "tracked"
+    litmus = updated["configs"]["litmus"]
+    assert litmus["speedup_vs_baseline"] >= 1.0
+    assert litmus["stats_sha256"] == record["configs"]["litmus"]["stats_sha256"]

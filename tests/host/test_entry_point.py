@@ -156,3 +156,99 @@ def test_capacity_and_drained(sim):
     assert not ep.offer(make_load(0x300))
     sim.run()
     assert ep.drained
+
+
+# --------------------------------------------------------------------- #
+# parity: the serve loop's inlined policy decision vs IssuePolicy
+# --------------------------------------------------------------------- #
+
+
+def _reference_first_forwardable(policy, queue, pending, fenced):
+    """The pre-optimization O(n^2) algorithm, driven by the canonical
+    IssuePolicy.may_forward -- the oracle the inlined scan must match."""
+    from repro.sim.messages import MessageType
+
+    for i, msg in enumerate(queue):
+        earlier_line_write = False
+        if msg.mtype is MessageType.LOAD:
+            line = msg.addr & ~63
+            earlier_line_write = any(
+                e.mtype in (MessageType.STORE, MessageType.FLUSH)
+                and (e.addr & ~63) == line
+                for e in list(queue)[:i]
+            )
+        scope_order = ""
+        if msg.scope is not None and msg.mtype is not MessageType.PIM_OP:
+            for earlier in list(queue)[:i]:
+                if earlier.scope != msg.scope:
+                    continue
+                if earlier.mtype is MessageType.SCOPE_FENCE:
+                    scope_order = "fence"
+                    break
+                if earlier.mtype is MessageType.PIM_OP and not scope_order:
+                    scope_order = "pim"
+        if policy.may_forward(msg, pending, fenced, earlier_line_write,
+                              scope_order):
+            return i
+    return None
+
+
+def test_serve_scan_matches_may_forward_for_every_model():
+    """The entry point inlines IssuePolicy.may_forward in its serve loop
+    (head fast path + incremental full scan); randomized queue states
+    must make exactly the same choice as the canonical policy method."""
+    import random
+
+    from repro.core.models import ConsistencyModel
+    from repro.host.entry_point import EntryPoint
+    from repro.host.policies import IssuePolicy
+    from repro.sim.component import Component
+    from repro.sim.kernel import Simulator
+    from repro.sim.messages import Message, MessageType
+
+    class Rejecting(Component):
+        """Records the chosen message but refuses it, leaving the queue
+        intact so the choice is observable without side effects."""
+
+        def __init__(self, sim):
+            super().__init__(sim, "stub")
+            self.offered = []
+
+        def offer(self, msg, sender=None):
+            self.offered.append(msg)
+            return False
+
+    kinds = [MessageType.LOAD, MessageType.STORE, MessageType.FLUSH,
+             MessageType.PIM_OP, MessageType.SCOPE_FENCE]
+    rng = random.Random(1234)
+    for model in ConsistencyModel:
+        policy = IssuePolicy(model)
+        for _ in range(60):
+            sim = Simulator()
+            stub = Rejecting(sim)
+            ep = EntryPoint(sim, "ep", 0, policy, l1=stub, req_net=stub)
+            for _ in range(rng.randrange(1, 7)):
+                mtype = rng.choice(kinds)
+                scope = rng.choice([None, 0, 1]) \
+                    if mtype not in (MessageType.PIM_OP,
+                                     MessageType.SCOPE_FENCE) \
+                    else rng.choice([0, 1])
+                ep._queue.append(Message(
+                    mtype, addr=rng.choice([0x0, 0x40, 0x80]), scope=scope,
+                ))
+            for scope in (0, 1):
+                if rng.random() < 0.4:
+                    ep.pending_pim_scopes[scope] = 1
+                if rng.random() < 0.3:
+                    ep.fenced_scopes.add(scope)
+            expected = _reference_first_forwardable(
+                policy, ep._queue, ep.pending_pim_scopes, ep.fenced_scopes)
+            ep._serve()
+            chosen = (ep._queue.index(stub.offered[0])
+                      if stub.offered else None)
+            assert chosen == expected, (
+                f"model={model.value} queue="
+                f"{[(m.mtype.name, m.scope, hex(m.addr)) for m in ep._queue]}"
+                f" pending={ep.pending_pim_scopes}"
+                f" fenced={ep.fenced_scopes}"
+            )

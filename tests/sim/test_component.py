@@ -170,3 +170,30 @@ def test_response_dispatcher_routes_by_reply_to():
     msg = Message(MessageType.LOAD_RESP, reply_to=receiver)
     dispatcher.offer(msg)
     assert receiver.got == [msg]
+
+
+def test_waiting_senders_are_deduplicated():
+    """A sender that retries offer() while the queue is full must be
+    parked once: a single wake per unblock, in first-parked order."""
+    sim = Simulator()
+    sink = StuckSink(sim, capacity=1)
+    sink.offer(_msg())
+    wakes = []
+
+    class CountingProducer(Component):
+        def __init__(self, name):
+            super().__init__(sim, name)
+
+        def unblock(self):
+            wakes.append(self.name)
+
+    first = CountingProducer("first")
+    second = CountingProducer("second")
+    for _ in range(3):  # repeated rejected offers: parked exactly once
+        assert not sink.offer(_msg(), first)
+    assert not sink.offer(_msg(), second)
+    assert len(sink._waiting_senders) == 2
+    sink.release = True
+    sink.unblock()
+    sim.run()
+    assert wakes[:2] == ["first", "second"]  # wake order = park order

@@ -112,3 +112,99 @@ def test_not_reentrant():
 
     sim.schedule(1, nested)
     sim.run()
+
+
+# --------------------------------------------------------------------- #
+# zero-delay fast-dispatch ring
+# --------------------------------------------------------------------- #
+
+
+def test_zero_delay_events_skip_the_heap():
+    sim = Simulator()
+    sim.schedule(0, lambda: None)
+    sim.call_at_now(lambda: None)
+    assert sim.pending_events() == 2
+    assert len(sim._queue) == 0  # both went to the dispatch ring
+    sim.run()
+    assert sim.events_executed == 2
+    assert sim.now == 0
+
+
+def test_ring_events_interleave_with_heap_in_scheduling_order():
+    """Same-cycle events run in global scheduling order even when some
+    sit in the heap (scheduled earlier with a delay) and some on the
+    immediate-dispatch ring (scheduled at the cycle itself)."""
+    sim = Simulator()
+    order = []
+
+    def runner():
+        order.append("runner")
+        sim.schedule(0, order.append, "ring")  # after the heap's a, b
+
+    sim.schedule(5, runner)
+    sim.schedule(5, order.append, "a")
+    sim.schedule(5, order.append, "b")
+    sim.run()
+    assert order == ["runner", "a", "b", "ring"]
+
+
+def test_call_at_now_chains_run_before_time_advances():
+    sim = Simulator()
+    order = []
+
+    def chain(n):
+        order.append(n)
+        if n < 2:
+            sim.call_at_now(chain, n + 1)
+
+    sim.schedule(3, chain, 0)
+    sim.schedule(4, order.append, "later")
+    sim.run()
+    assert order == [0, 1, 2, "later"]
+    assert sim.now == 4
+
+
+def test_ring_respects_until_bound():
+    sim = Simulator()
+    hits = []
+    sim.schedule(0, hits.append, "now")
+    sim.schedule(50, hits.append, "later")
+    sim.run(until=10)
+    assert hits == ["now"]
+    assert sim.now == 10
+
+
+def test_stop_flag_halts_after_current_event():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1, hits.append, "a")
+    sim.schedule(2, lambda: (hits.append("stop"), sim.stop()))
+    sim.schedule(3, hits.append, "c")
+    sim.run()
+    assert hits == ["a", "stop"]
+    # The flag is consumed: a later run resumes normally.
+    sim.run()
+    assert hits == ["a", "stop", "c"]
+
+
+def test_max_events_counts_ring_events():
+    sim = Simulator()
+
+    def forever():
+        sim.call_at_now(forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=50)
+    assert sim.events_executed == 50
+
+
+def test_reset_ids_restarts_op_id_sequence():
+    from repro.sim.messages import Message, MessageType
+
+    sim = Simulator()
+    sim.reset_ids()
+    first = Message(MessageType.LOAD).op_id
+    Message(MessageType.LOAD)
+    sim.reset_ids()
+    assert Message(MessageType.LOAD).op_id == first

@@ -58,3 +58,45 @@ def test_stat_group_type_conflict():
     g.counter("a")
     with pytest.raises(TypeError):
         g.mean("a")
+
+
+def test_ratio_stat_keeps_integer_counters():
+    """Counters stay ints until .ratio is read, so counts beyond float
+    precision (2**53) keep accumulating exactly."""
+    r = RatioStat("x")
+    big = 2 ** 53
+    r.add(big, big)
+    r.record(True)
+    assert isinstance(r.numerator, int)
+    assert r.numerator == big + 1  # a float accumulator would drop the +1
+    assert r.denominator == big + 1
+    assert r.ratio == 1.0
+
+
+def test_mean_without_extremes_matches_mean_with():
+    g = StatGroup("g")
+    fast = g.mean("fast", extremes=False)
+    slow = g.mean("slow")
+    for v in (3, 1, 4, 1, 5):
+        fast.sample(v)
+        slow.sample(v)
+    assert fast.mean == slow.mean
+    assert fast.count == slow.count
+    assert slow.min == 1 and slow.max == 5
+    d = g.as_dict()
+    assert d["fast"] == d["slow"]  # identical exported statistics
+
+
+def test_stat_group_flush_callbacks_sync_before_snapshot():
+    g = StatGroup("g")
+    counter = g.counter("hits")
+    local = {"hits": 0}
+
+    def flush():
+        counter.value = local["hits"]
+
+    g.register_flush(flush)
+    local["hits"] = 41
+    assert g.as_dict()["hits"] == 41
+    local["hits"] = 42
+    assert g.as_dict()["hits"] == 42  # idempotent re-sync
