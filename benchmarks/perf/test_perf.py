@@ -23,11 +23,22 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
 BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_kernel.json")
 
 
+#: The scaled-up pinned points (tracked since the timing-wheel PR).
+SCALED_CONFIGS = ("ycsb-c-8core", "tpch-q6-sf2")
+
+
 @pytest.fixture(scope="module")
 def quick_record():
     """One shared measurement of the quick configs (determinism is
     asserted inside run_config: a divergent repeat raises)."""
     return perf.run_suite(perf.QUICK_CONFIGS, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def scaled_record():
+    """One shared measurement of the scaled configs (8 cores / 2x TPC-H
+    scale) -- the digest pins results at sizes the quick smoke misses."""
+    return perf.run_suite(SCALED_CONFIGS, repeats=2)
 
 
 @pytest.fixture(scope="module")
@@ -56,8 +67,20 @@ def test_results_match_checked_in_digests(quick_record, bench_file):
         assert cur["run_time"] == base["run_time"], name
 
 
+def test_scaled_configs_match_checked_in_digests(scaled_record, bench_file):
+    """The scaled-up pinned points (8-core YCSB-C, 2x-scale TPC-H Q6)
+    are digest-pinned like the seed-sized ones."""
+    for name, cur in scaled_record["configs"].items():
+        base = bench_file["configs"][name]
+        assert cur["stats_sha256"] == base["stats_sha256"], (
+            f"{name}: simulation results diverged from BENCH_kernel.json"
+        )
+        assert cur["events"] == base["events"], name
+        assert cur["run_time"] == base["run_time"], name
+
+
 def test_optimized_kernel_reproduces_baseline_results(bench_file):
-    """BENCH_kernel.json records the pre-optimization kernel's digests;
+    """BENCH_kernel.json records the seed (heap-only) kernel's digests;
     they must equal the current kernel's (byte-identical results)."""
     for name, base in bench_file["baseline"]["configs"].items():
         cur = bench_file["configs"][name]
@@ -67,10 +90,14 @@ def test_optimized_kernel_reproduces_baseline_results(bench_file):
 
 
 def test_recorded_speedup_meets_target(bench_file):
-    """The acceptance bar for the kernel overhaul: >=2x events/sec on
-    the pinned YCSB-C benchmark vs the pre-PR kernel (as measured and
-    recorded on the same machine at optimization time)."""
-    assert bench_file["configs"]["ycsb-c"]["speedup_vs_baseline"] >= 2.0
+    """The trajectory's acceptance bars, as measured interleaved on one
+    machine and recorded at optimization time: the PR 2 hot-path
+    overhaul's >=2x on YCSB-C vs the seed kernel, extended by the
+    timing-wheel PR to >=2.4x cumulative (>=1.25x vs the PR 2 kernel,
+    recorded in the description)."""
+    assert bench_file["configs"]["ycsb-c"]["speedup_vs_baseline"] >= 2.4
+    for name in SCALED_CONFIGS:
+        assert bench_file["configs"][name]["speedup_vs_baseline"] >= 2.0, name
 
 
 @pytest.mark.skipif(os.environ.get("REPRO_PERF_STRICT") != "1",

@@ -14,12 +14,14 @@ Three subcommands::
 
     repro-bench perf [--quick] [--configs a,b] [--repeats N]
                      [--check BENCH_kernel.json] [--tolerance 0.30]
-                     [--output out.json]
+                     [--output out.json] [--update BENCH_kernel.json]
+                     [--profile CONFIG]
         Measure event-kernel throughput (events/sec) on the pinned
         benchmark configurations, asserting run-to-run determinism.
         ``--check`` compares against a checked-in baseline and exits
         non-zero on a result-digest mismatch or a throughput regression
-        beyond the tolerance.
+        beyond the tolerance; ``--profile`` runs one config under
+        cProfile and prints the top cumulative entries instead.
 
 Examples::
 

@@ -66,6 +66,24 @@ PERF_CONFIGS: Dict[str, dict] = {
         "config": {"preset": "scaled", "model": "atomic", "num_scopes": 4},
         "variant": "perf",
     },
+    # Scaled-up points: the seed-sized configs above stay pinned for
+    # trajectory continuity; these two track the kernel at higher core
+    # counts and bigger working sets, where queue depths, MSHR pressure
+    # and the wheel/heap mix differ from the small configs.
+    "ycsb-c-8core": {
+        "workload": "ycsb",
+        "params": {"num_ops": 64, "num_records": 16000,
+                   "scan_fraction": 1.0, "threads": 8, "seed": 7},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 8,
+                   "cores": {"num_cores": 8}},
+        "variant": "perf",
+    },
+    "tpch-q6-sf2": {
+        "workload": "tpch",
+        "params": {"query": "q6", "scale": 0.03125, "threads": 6},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 64},
+        "variant": "perf",
+    },
 }
 
 #: Configurations the ``--quick`` smoke run measures.
@@ -135,6 +153,35 @@ def run_config(name: str, repeats: int = 3) -> dict:
         "wall_s": round(best_wall, 6),
         "events_per_sec": round(fingerprint["events"] / best_wall),
     }
+
+
+def profile_config(name: str, top: int = 25, sort: str = "cumulative",
+                   stream=None) -> None:
+    """Run one pinned configuration under :mod:`cProfile`.
+
+    Prints the ``top`` entries by the given sort key (build and compile
+    happen outside the profiled region, like the timed runs), so perf
+    work starts from measured hot spots instead of guesses::
+
+        repro-bench perf --profile ycsb-c
+    """
+    import cProfile
+    import pstats
+
+    from repro.system.builder import System
+
+    spec = PERF_CONFIGS[name]
+    experiment = Experiment.from_dict(spec)
+    workload = experiment.build_workload()
+    system = System(experiment.config)
+    programs = workload.compile(system)
+    system.load_programs(programs)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run(max_events=experiment.max_events)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(top)
 
 
 def run_suite(names: Optional[Iterable[str]] = None,
@@ -229,10 +276,11 @@ def update_tracked_file(path: str, record: dict) -> dict:
     merged = dict(existing.get("configs", {}))
     merged.update(record["configs"])
     out = {"schema": SCHEMA, "configs": merged}
-    if "description" in existing:
-        out["description"] = existing["description"]
-    if "baseline" in existing:
-        out["baseline"] = existing["baseline"]
+    # Preserve every hand-maintained section (description, baseline,
+    # history, ...); only the fresh measurements are regenerated.
+    for key, value in existing.items():
+        if key not in ("schema", "configs"):
+            out[key] = value
     base_configs = out.get("baseline", {}).get("configs", {})
     for name, cur in merged.items():
         base = base_configs.get(name)
@@ -268,7 +316,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "preserving its baseline section and "
                              "recomputing speedups (use for "
                              "BENCH_kernel.json)")
+    parser.add_argument("--profile", metavar="CONFIG", default=None,
+                        help="run one pinned config under cProfile and "
+                             "print the top --profile-top entries by "
+                             "cumulative time, then exit")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        help="entries to print with --profile (default 25)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        if args.profile not in PERF_CONFIGS:
+            parser.error(f"unknown perf config {args.profile!r}; "
+                         f"pinned: {', '.join(PERF_CONFIGS)}")
+        profile_config(args.profile, top=args.profile_top)
+        return 0
 
     if args.configs:
         names = [n.strip() for n in args.configs.split(",") if n.strip()]

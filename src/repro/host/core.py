@@ -27,13 +27,38 @@ from repro.host.entry_point import EntryPoint
 from repro.host.policies import IssuePolicy
 from repro.host.program import ThreadOp, ThreadOpKind, ThreadProgram
 from repro.sim.component import Component
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK, WHEEL_SLOTS
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
+
+#: Module-level aliases for the per-step dispatch (a global load is
+#: cheaper than the enum attribute lookup on every committed op).
+_LOAD = ThreadOpKind.LOAD
+_COMPUTE = ThreadOpKind.COMPUTE
+_STORE = ThreadOpKind.STORE
+_FLUSH = ThreadOpKind.FLUSH
+_PIM_OP = ThreadOpKind.PIM_OP
+_SCOPE_FENCE = ThreadOpKind.SCOPE_FENCE
+_MEM_FENCE = ThreadOpKind.MEM_FENCE
+_PIM_FENCE = ThreadOpKind.PIM_FENCE
+_BARRIER = ThreadOpKind.BARRIER
+_MT_LOAD_RESP = MessageType.LOAD_RESP
+_MT_STORE_ACK = MessageType.STORE_ACK
+_MT_FLUSH_ACK = MessageType.FLUSH_ACK
+_MT_PIM_ACK = MessageType.PIM_ACK
 
 
 class Core(Component):
     """One host core running one thread program."""
+
+    __slots__ = ("core_id", "policy", "entry_point", "max_outstanding_loads",
+                 "issue_interval", "barrier_cb", "stale_cb", "done_cb",
+                 "_done_notified", "program", "_ops", "pc", "_exhausted",
+                 "outstanding_loads", "outstanding_stores",
+                 "outstanding_flushes", "outstanding_by_scope",
+                 "_waiting_pim_ack", "_at_barrier", "_step_scheduled",
+                 "stats", "_stale_reads", "_loads", "_stores", "_pim_ops",
+                 "finish_time", "_step_bound", "_ep_offer")
 
     def __init__(
         self,
@@ -75,6 +100,9 @@ class Core(Component):
         self._waiting_pim_ack = False
         self._at_barrier = False
         self._step_scheduled = False
+        # Pre-bound callables for the per-op hot path.
+        self._step_bound = self._step
+        self._ep_offer = entry_point.offer
         self.stats = StatGroup(name)
         # Issue/stale counters are batched as plain ints on the core
         # (one attribute bump per op) and synced into the StatGroup only
@@ -127,14 +155,22 @@ class Core(Component):
     def _schedule_step(self, delay: int = 0) -> None:
         if not self._step_scheduled and not self._exhausted:
             self._step_scheduled = True
+            sim = self.sim
             if delay:
-                self.sim.schedule(delay, self._step)
+                if 0 < delay < WHEEL_SLOTS:
+                    # Inlined Simulator.schedule (wheel tier): the issue
+                    # interval lands here once per committed op.
+                    sim._seq = seq = sim._seq + 1
+                    sim._wheel[(sim.now + delay) & WHEEL_MASK].append(
+                        (seq, self._step_bound, ()))
+                    sim._wheel_count += 1
+                else:
+                    sim.schedule(delay, self._step_bound)
             else:
                 # Inlined Simulator.call_at_now: wake-ups outnumber every
                 # other event source on the core.
-                sim = self.sim
                 sim._seq = seq = sim._seq + 1
-                sim._ring.append((seq, self._step, ()))
+                sim._ring.append((seq, self._step_bound, ()))
 
     def _step(self) -> None:
         self._step_scheduled = False
@@ -142,27 +178,29 @@ class Core(Component):
             return
         op = self._ops[self.pc]
         kind = op.kind
-        if kind is ThreadOpKind.COMPUTE:
+        # Dispatch ordered by issue frequency: loads dominate every
+        # workload in the sweep, then modelled compute, then stores.
+        if kind is _LOAD:
+            self._issue_load(op)
+        elif kind is _COMPUTE:
             self._advance()
             # Schedule unconditionally (not via _schedule_step) so a
             # trailing COMPUTE still advances the clock before `done`.
             self._step_scheduled = True
-            self.sim.schedule(max(1, op.cycles), self._step)
-        elif kind is ThreadOpKind.LOAD:
-            self._issue_load(op)
-        elif kind is ThreadOpKind.STORE:
+            self.sim.schedule(max(1, op.cycles), self._step_bound)
+        elif kind is _STORE:
             self._issue_simple(op, MessageType.STORE)
-        elif kind is ThreadOpKind.FLUSH:
+        elif kind is _FLUSH:
             self._issue_simple(op, MessageType.FLUSH)
-        elif kind is ThreadOpKind.PIM_OP:
+        elif kind is _PIM_OP:
             self._issue_pim(op)
-        elif kind is ThreadOpKind.SCOPE_FENCE:
+        elif kind is _SCOPE_FENCE:
             self._issue_scope_fence(op)
-        elif kind is ThreadOpKind.MEM_FENCE:
+        elif kind is _MEM_FENCE:
             self._mem_fence()
-        elif kind is ThreadOpKind.PIM_FENCE:
+        elif kind is _PIM_FENCE:
             self._pim_fence()
-        elif kind is ThreadOpKind.BARRIER:
+        elif kind is _BARRIER:
             # A barrier models the workload client finishing an operation
             # (results consumed): the thread's outstanding accesses must
             # have completed before it reports in.  PIM ACKs are not
@@ -193,13 +231,20 @@ class Core(Component):
             return  # UC accesses are strongly ordered (no overlap)
         msg = Message(MessageType.LOAD, op.addr, op.scope, self.core_id,
                       self, False, op.uncacheable, False, op.expect_version)
-        if not self.entry_point.offer(msg):
+        if not self._ep_offer(msg):
             return  # woken by entry-point progress
         self.outstanding_loads += 1
-        if op.scope is not None:
-            self._track_scope(op.scope, +1)
+        scope = op.scope
+        if scope is not None:
+            # Inlined _track_scope(scope, +1): one bump per scoped load.
+            by_scope = self.outstanding_by_scope
+            by_scope[scope] = by_scope.get(scope, 0) + 1
         self._loads += 1
-        self._advance()
+        # Inlined _advance(): loads are the hottest committed op.
+        self.pc = pc = self.pc + 1
+        if pc >= len(self._ops):
+            self._exhausted = True
+            self.finish_time = self.sim.now
         self._schedule_step(self.issue_interval)
 
     def _track_scope(self, scope: Optional[int], delta: int) -> None:
@@ -224,7 +269,7 @@ class Core(Component):
             return  # woken by response completions
         msg = Message(mtype, op.addr, op.scope, self.core_id, self,
                       False, op.uncacheable)
-        if not self.entry_point.offer(msg):
+        if not self._ep_offer(msg):
             return
         if mtype is MessageType.STORE:
             self.outstanding_stores += 1
@@ -247,7 +292,7 @@ class Core(Component):
             MessageType.PIM_OP, op.addr, op.scope, self.core_id,
             self if self.policy.blocks_commit else self.entry_point,
         )
-        if not self.entry_point.offer(msg):
+        if not self._ep_offer(msg):
             return
         self._pim_ops += 1
         if self.policy.blocks_commit:
@@ -279,7 +324,7 @@ class Core(Component):
             core=self.core_id,
             reply_to=self.entry_point,
         )
-        if not self.entry_point.offer(msg):
+        if not self._ep_offer(msg):
             return
         self._advance()
         self._schedule_step(self.issue_interval)
@@ -313,10 +358,17 @@ class Core(Component):
 
     def receive_response(self, resp: Message) -> None:
         mtype = resp.mtype
-        if mtype is MessageType.LOAD_RESP:
+        if mtype is _MT_LOAD_RESP:
             self.outstanding_loads -= 1
-            if resp.scope is not None:
-                self._track_scope(resp.scope, -1)
+            scope = resp.scope
+            if scope is not None:
+                # Inlined _track_scope(scope, -1).
+                by_scope = self.outstanding_by_scope
+                count = by_scope.get(scope, 0) - 1
+                if count <= 0:
+                    by_scope.pop(scope, None)
+                else:
+                    by_scope[scope] = count
             expected = resp.req.version if resp.req is not None else 0
             if expected and resp.version < expected:
                 self._stale_reads += 1
@@ -328,15 +380,15 @@ class Core(Component):
                     if self._exhausted and not self._done_notified:
                         self._maybe_finish()
                     return
-        elif mtype is MessageType.STORE_ACK:
+        elif mtype is _MT_STORE_ACK:
             self.outstanding_stores -= 1
             if resp.scope is not None:
                 self._track_scope(resp.scope, -1)
-        elif mtype is MessageType.FLUSH_ACK:
+        elif mtype is _MT_FLUSH_ACK:
             self.outstanding_flushes -= 1
             if resp.scope is not None:
                 self._track_scope(resp.scope, -1)
-        elif mtype is MessageType.PIM_ACK:
+        elif mtype is _MT_PIM_ACK:
             # Atomic model: the op may now commit.  The PIM op itself is
             # still travelling toward the module -- only the ACK is dead.
             self._waiting_pim_ack = False
@@ -346,13 +398,23 @@ class Core(Component):
         # pool.  (The request may be observed by tracers/tests, so only
         # the transient response is pooled.)
         resp.release()
-        self._schedule_step(0)
-        if self._exhausted and not self._done_notified:
+        # Inlined _schedule_step(0): one wake-up per response delivered.
+        if not self._step_scheduled and not self._exhausted:
+            self._step_scheduled = True
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._ring.append((seq, self._step_bound, ()))
+        elif self._exhausted and not self._done_notified:
             self._maybe_finish()
 
     def on_entry_point_progress(self) -> None:
-        self._schedule_step(0)
-        if self._exhausted and not self._done_notified:
+        # Inlined _schedule_step(0): one wake-up per entry-point forward.
+        if not self._step_scheduled and not self._exhausted:
+            self._step_scheduled = True
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._ring.append((seq, self._step_bound, ()))
+        elif self._exhausted and not self._done_notified:
             self._maybe_finish()
 
     def on_subsystem_ack(self, resp: Message) -> None:

@@ -22,13 +22,27 @@ from typing import Dict, Optional, Set
 from repro.core.models import ConsistencyModel
 from repro.host.policies import IssuePolicy
 from repro.sim.component import Component
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
+
+#: Module-level aliases: the serve loop tests message kinds per queue
+#: entry, and a global load is cheaper than the enum attribute lookup.
+_LOAD = MessageType.LOAD
+_STORE = MessageType.STORE
+_FLUSH = MessageType.FLUSH
+_PIM_OP = MessageType.PIM_OP
+_SCOPE_FENCE = MessageType.SCOPE_FENCE
 
 
 class EntryPoint(Component):
     """Per-core entry point enforcing PIM-op ordering (Section V)."""
+
+    __slots__ = ("core_id", "policy", "l1", "req_net", "depth", "_queue",
+                 "_core", "_serving", "pending_pim_scopes",
+                 "pending_pim_acks", "fenced_scopes", "pending_scope_fences",
+                 "stats", "_forwarded", "_holds_free", "_holds_stores",
+                 "_pim_reorders", "_serve_bound", "_l1_offer", "_req_offer")
 
     def __init__(
         self,
@@ -57,10 +71,17 @@ class EntryPoint(Component):
         self.fenced_scopes: Set[int] = set()
         self.pending_scope_fences = 0
         self.stats = StatGroup(name)
-        self._forwarded = self.stats.counter("ops_forwarded")
+        # Batched as a plain int (one attribute bump per forward) and
+        # synced into the StatGroup only when a snapshot is taken.
+        self._forwarded = 0
+        self.stats.register_flush(self._flush_stats)
         # Policy traits predigested for the per-cycle serve loop (the
         # loop inlines IssuePolicy.may_forward; these avoid re-deriving
         # the per-model facts on every queue scan).
+        # Pre-bound callables for the per-forward hot path.
+        self._serve_bound = self._serve
+        self._l1_offer = l1.offer
+        self._req_offer = req_net.offer
         props_holds = policy.props.entry_point_holds
         self._holds_free = props_holds in ("none", "all")
         self._holds_stores = props_holds == "stores"
@@ -68,6 +89,9 @@ class EntryPoint(Component):
 
     def attach_core(self, core) -> None:
         self._core = core
+
+    def _flush_stats(self) -> None:
+        self.stats.counter("ops_forwarded").value = self._forwarded
 
     # ------------------------------------------------------------------ #
     # core side
@@ -88,7 +112,13 @@ class EntryPoint(Component):
         queue.append(msg)
         if not self._serving:
             self._serving = True
-            self.sim.schedule(1, self._serve)
+            # Inlined Simulator.schedule (wheel tier, delay 1): the entry
+            # point forwards at most one message per cycle.
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[(sim.now + 1) & WHEEL_MASK].append(
+                (seq, self._serve_bound, ()))
+            sim._wheel_count += 1
         return True
 
     # ------------------------------------------------------------------ #
@@ -98,7 +128,12 @@ class EntryPoint(Component):
     def _schedule_serve(self) -> None:
         if not self._serving:
             self._serving = True
-            self.sim.schedule(1, self._serve)
+            # Inlined Simulator.schedule (wheel tier, delay 1).
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[(sim.now + 1) & WHEEL_MASK].append(
+                (seq, self._serve_bound, ()))
+            sim._wheel_count += 1
 
     def _serve(self) -> None:
         self._serving = False
@@ -122,38 +157,44 @@ class EntryPoint(Component):
         mtype = msg.mtype
         scope = msg.scope
         allowed = True
-        if (scope is not None and mtype is not MessageType.PIM_OP
+        if (scope is not None and mtype is not _PIM_OP
                 and scope in fenced):
             allowed = False
         if allowed and not self._holds_free:
             if self._holds_stores:
                 if pending:
-                    if mtype is MessageType.LOAD:
+                    if mtype is _LOAD:
                         allowed = scope not in pending
                     else:
                         allowed = False
             else:
                 allowed = scope not in pending
         if allowed:
-            if mtype is MessageType.PIM_OP or mtype is MessageType.SCOPE_FENCE:
+            if mtype is _PIM_OP or mtype is _SCOPE_FENCE:
                 accepted = self._forward(msg)
             elif msg.uncacheable:
-                accepted = self.req_net.offer(msg, self)
+                accepted = self._req_offer(msg, self)
             else:
-                accepted = self.l1.offer(msg, self)
+                accepted = self._l1_offer(msg, self)
             if accepted:
                 queue.popleft()
-                self._forwarded.value += 1
+                self._forwarded += 1
                 if self._core is not None:
                     self._core.on_entry_point_progress()
-                if queue:
-                    self._schedule_serve()
+                if queue and not self._serving:
+                    self._serving = True
+                    # Inlined Simulator.schedule (wheel tier, delay 1).
+                    sim = self.sim
+                    sim._seq = seq = sim._seq + 1
+                    sim._wheel[(sim.now + 1) & WHEEL_MASK].append(
+                        (seq, self._serve_bound, ()))
+                    sim._wheel_count += 1
             return
         store_lines = None  # lines of earlier stores/flushes (lazy)
         pim_scopes = None  # scopes of earlier queued PIM ops (lazy)
         fence_scopes = None  # scopes of earlier queued scope-fences
         forwarded = False
-        pim_op = MessageType.PIM_OP
+        pim_op = _PIM_OP
         holds_free = self._holds_free
         holds_stores = self._holds_stores
         pim_reorders = self._pim_reorders
@@ -161,7 +202,7 @@ class EntryPoint(Component):
             mtype = msg.mtype
             scope = msg.scope
             allowed = True
-            if (mtype is MessageType.LOAD and store_lines is not None
+            if (mtype is _LOAD and store_lines is not None
                     and (msg.addr & ~63) in store_lines):
                 # Store-to-load order: an older store/flush to the same
                 # line sits in the entry point.
@@ -187,7 +228,7 @@ class EntryPoint(Component):
                 # other-scope loads; scope model: same-scope only).
                 if holds_stores:
                     if pending:
-                        if mtype is MessageType.LOAD:
+                        if mtype is _LOAD:
                             allowed = scope not in pending
                         else:
                             allowed = False
@@ -197,12 +238,12 @@ class EntryPoint(Component):
                 # Plain loads/stores/flushes route straight to the L1
                 # (or, uncacheable, the request network); PIM ops and
                 # scope fences take the bookkeeping path in _forward().
-                if mtype is pim_op or mtype is MessageType.SCOPE_FENCE:
+                if mtype is pim_op or mtype is _SCOPE_FENCE:
                     accepted = self._forward(msg)
                 elif msg.uncacheable:
-                    accepted = self.req_net.offer(msg, self)
+                    accepted = self._req_offer(msg, self)
                 else:
-                    accepted = self.l1.offer(msg, self)
+                    accepted = self._l1_offer(msg, self)
                 if accepted:
                     if i:
                         del self._queue[i]
@@ -212,12 +253,12 @@ class EntryPoint(Component):
                 break
             # Not forwardable: record the ordering constraints this
             # message imposes on everything younger.
-            if mtype is MessageType.STORE or mtype is MessageType.FLUSH:
+            if mtype is _STORE or mtype is _FLUSH:
                 if store_lines is None:
                     store_lines = {msg.addr & ~63}
                 else:
                     store_lines.add(msg.addr & ~63)
-            elif mtype is MessageType.SCOPE_FENCE:
+            elif mtype is _SCOPE_FENCE:
                 if fence_scopes is None:
                     fence_scopes = {scope}
                 else:
@@ -228,7 +269,7 @@ class EntryPoint(Component):
                 else:
                     pim_scopes.add(scope)
         if forwarded:
-            self._forwarded.value += 1
+            self._forwarded += 1
             if self._core is not None:
                 self._core.on_entry_point_progress()
             if self._queue:
@@ -236,7 +277,7 @@ class EntryPoint(Component):
 
     def _forward(self, msg: Message) -> bool:
         mtype = msg.mtype
-        if mtype is MessageType.PIM_OP:
+        if mtype is _PIM_OP:
             msg.direct = self.policy.pim_is_direct
             target = self.l1 if self.policy.routes_pim_through_l1 else self.req_net
             if not target.offer(msg, self):
@@ -252,7 +293,7 @@ class EntryPoint(Component):
                     scope_count = self.pending_pim_scopes.get(msg.scope, 0)
                     self.pending_pim_scopes[msg.scope] = scope_count + 1
             return True
-        if mtype is MessageType.SCOPE_FENCE:
+        if mtype is _SCOPE_FENCE:
             if not self.l1.offer(msg, self):
                 return False
             self.fenced_scopes.add(msg.scope)

@@ -24,13 +24,17 @@ from repro.memory.scope_buffer import ScopeBuffer
 from repro.memory.sbv import ScopeBitVector
 from repro.sim.component import Component, QueuedComponent
 from repro.sim.config import CacheConfig, ScopeBufferConfig
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK, WHEEL_SLOTS
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
 
 #: Store-hit fast path: IntEnum ordering makes "writable" a plain int
 #: compare (EXCLUSIVE=2, MODIFIED=3; lookup() never returns INVALID).
 _EXCLUSIVE = MesiState.EXCLUSIVE
+_LOAD = MessageType.LOAD
+_STORE = MessageType.STORE
+_LOAD_RESP = MessageType.LOAD_RESP
+_STORE_ACK = MessageType.STORE_ACK
 
 
 class _Mshr:
@@ -73,8 +77,11 @@ class L1Cache(QueuedComponent):
         self.mshr_count = mshr_count
         self._mshrs: Dict[int, _Mshr] = {}
         self.stats = StatGroup(name)
-        self._hits = self.stats.counter("hits")
-        self._misses = self.stats.counter("misses")
+        # Hit/miss counters are batched as plain ints (one attribute bump
+        # per access) and synced into the StatGroup at snapshot time.
+        self._hits = 0
+        self._misses = 0
+        self.stats.register_flush(self._flush_stats)
         self._back_invalidations = self.stats.counter("back_invalidations")
         self.scope_buffer: Optional[ScopeBuffer] = None
         self.sbv: Optional[ScopeBitVector] = None
@@ -92,6 +99,14 @@ class L1Cache(QueuedComponent):
         self._refetch_queue: deque = deque()
         # Multi-phase state for the head-of-queue scope fence.
         self._head_scanned = False
+        self._hit_on_wheel = 0 < config.hit_latency < WHEEL_SLOTS
+        # Pre-bound callable for the miss/forward hot path.
+        self._req_offer = req_net.offer
+
+    def _flush_stats(self) -> None:
+        stats = self.stats
+        stats.counter("hits").value = self._hits
+        stats.counter("misses").value = self._misses
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -100,26 +115,42 @@ class L1Cache(QueuedComponent):
     def handle(self, msg: Message) -> Union[bool, int]:
         mtype = msg.mtype
         # Loads and stores are the simulator's hottest messages: their
-        # hit paths are flattened here (lookup + pooled response) rather
-        # than dispatched through the per-type helpers.
-        if mtype is MessageType.LOAD:
+        # hit paths are flattened here (lookup + pooled response +
+        # inlined wheel-tier Simulator.schedule) rather than dispatched
+        # through the per-type helpers.
+        if mtype is _LOAD:
             line = self.array.lookup(msg.addr)
             if line is None:
                 return self._miss(msg, False)
-            self._hits.value += 1
-            resp = msg.make_response(MessageType.LOAD_RESP, line.version)
-            self.sim.schedule(self._hit_latency,
-                              resp.reply_to.receive_response, resp)
-            return True
-        if mtype is MessageType.STORE:
-            line = self.array.lookup(msg.addr)
-            if line is not None and line.state >= _EXCLUSIVE:
-                self._hits.value += 1
-                line.state = MesiState.MODIFIED
-                line.version += 1
-                resp = msg.make_response(MessageType.STORE_ACK, line.version)
+            self._hits += 1
+            resp = msg.make_response(_LOAD_RESP, line.version)
+            if self._hit_on_wheel:
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                sim._wheel[(sim.now + self._hit_latency) & WHEEL_MASK].append(
+                    (seq, resp.reply_to.receive_response, (resp,)))
+                sim._wheel_count += 1
+            else:
                 self.sim.schedule(self._hit_latency,
                                   resp.reply_to.receive_response, resp)
+            return True
+        if mtype is _STORE:
+            line = self.array.lookup(msg.addr)
+            if line is not None and line.state >= _EXCLUSIVE:
+                self._hits += 1
+                line.state = MesiState.MODIFIED
+                line.version += 1
+                resp = msg.make_response(_STORE_ACK, line.version)
+                if self._hit_on_wheel:
+                    sim = self.sim
+                    sim._seq = seq = sim._seq + 1
+                    sim._wheel[
+                        (sim.now + self._hit_latency) & WHEEL_MASK
+                    ].append((seq, resp.reply_to.receive_response, (resp,)))
+                    sim._wheel_count += 1
+                else:
+                    self.sim.schedule(self._hit_latency,
+                                      resp.reply_to.receive_response, resp)
                 return True
             # Shared hit (upgrade) or miss: fetch exclusive ownership.
             return self._miss(msg, True)
@@ -135,7 +166,7 @@ class L1Cache(QueuedComponent):
         raise ValueError(f"L1 cannot handle {mtype}")
 
     def _miss(self, msg: Message, exclusive: bool) -> Union[bool, int]:
-        self._misses.value += 1
+        self._misses += 1
         line_addr = self.array.line_addr(msg.addr)
         mshr = self._mshrs.get(line_addr)
         if mshr is not None:
@@ -149,7 +180,7 @@ class L1Cache(QueuedComponent):
             return 4  # all MSHRs busy; retry shortly
         fill_req = Message(MessageType.LOAD, line_addr, msg.scope,
                            self.core_id, self, exclusive)
-        if not self.req_net.offer(fill_req, self):
+        if not self._req_offer(fill_req, self):
             return False
         mshr = self._mshrs[line_addr] = _Mshr(exclusive)
         mshr.waiters.append(msg)
@@ -179,7 +210,7 @@ class L1Cache(QueuedComponent):
         return self._forward(msg)
 
     def _forward(self, msg: Message) -> bool:
-        return self.req_net.offer(msg, self)
+        return self._req_offer(msg, self)
 
     def on_dequeue(self) -> None:
         self._head_scanned = False
@@ -224,14 +255,14 @@ class L1Cache(QueuedComponent):
 
     def _drain_writebacks(self) -> bool:
         while self._wb_queue:
-            if not self.req_net.offer(self._wb_queue[0], self):
+            if not self._req_offer(self._wb_queue[0], self):
                 return False
             self._wb_queue.popleft()
         return True
 
     def _drain_refetches(self) -> bool:
         while self._refetch_queue:
-            if not self.req_net.offer(self._refetch_queue[0], self):
+            if not self._req_offer(self._refetch_queue[0], self):
                 return False
             self._refetch_queue.popleft()
         return True
@@ -265,12 +296,12 @@ class L1Cache(QueuedComponent):
         retry: List[Message] = []
         line = self.array.lookup(line_addr, touch=False)
         for waiter in mshr.waiters:
-            if waiter.mtype is MessageType.LOAD:
-                self._respond(waiter, MessageType.LOAD_RESP, line.version)
+            if waiter.mtype is _LOAD:
+                self._respond(waiter, _LOAD_RESP, line.version)
             elif line is not None and line.state.writable:
                 line.state = MesiState.MODIFIED
                 line.version += 1
-                self._respond(waiter, MessageType.STORE_ACK, line.version)
+                self._respond(waiter, _STORE_ACK, line.version)
             else:
                 retry.append(waiter)  # needed exclusivity, fill was shared
         if retry:
@@ -342,6 +373,14 @@ class L1Cache(QueuedComponent):
 
     def _respond(self, req: Message, mtype: MessageType, version: int) -> None:
         resp = req.make_response(mtype, version=version)
-        self.sim.schedule(
-            self._hit_latency, resp.reply_to.receive_response, resp
-        )
+        if self._hit_on_wheel:
+            # Inlined Simulator.schedule (wheel tier).
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[(sim.now + self._hit_latency) & WHEEL_MASK].append(
+                (seq, resp.reply_to.receive_response, (resp,)))
+            sim._wheel_count += 1
+        else:
+            self.sim.schedule(
+                self._hit_latency, resp.reply_to.receive_response, resp
+            )

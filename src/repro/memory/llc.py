@@ -27,9 +27,12 @@ from repro.memory.scope_buffer import ScopeBuffer
 from repro.memory.sbv import ScopeBitVector
 from repro.sim.component import Component, QueuedComponent
 from repro.sim.config import CacheConfig, ScopeBufferConfig
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK, WHEEL_SLOTS
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
+
+_LOAD = MessageType.LOAD
+_LOAD_RESP = MessageType.LOAD_RESP
 
 
 class _LlcMshr:
@@ -64,11 +67,18 @@ class LastLevelCache(QueuedComponent):
         self.resp_net = resp_net
         self.array = CacheArray(config.num_sets, config.ways, config.line_bytes)
         self.stats = StatGroup(name)
-        self._hits = self.stats.counter("hits")
-        self._misses = self.stats.counter("misses")
+        # Hit/miss counters are batched as plain ints and synced into the
+        # StatGroup at snapshot time.
+        self._hits = 0
+        self._misses = 0
+        self.stats.register_flush(self._flush_stats)
         self._scan_latency = self.stats.mean("scan_latency")
         self._flushed_lines = self.stats.counter("flushed_lines")
         self._hit_latency = config.hit_latency
+        self._hit_on_wheel = 0 < config.hit_latency < WHEEL_SLOTS
+        # Pre-bound callables for the per-request hot path.
+        self._resp_offer = resp_net.offer
+        self._mem_offer = mem_link.offer
         self.scope_buffer = ScopeBuffer(
             scope_buffer_cfg.sets, scope_buffer_cfg.ways, self.stats
         )
@@ -86,20 +96,25 @@ class LastLevelCache(QueuedComponent):
         self._pending_wbs: deque = deque()
         self._head_scanned = False
 
+    def _flush_stats(self) -> None:
+        stats = self.stats
+        stats.counter("hits").value = self._hits
+        stats.counter("misses").value = self._misses
+
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
 
     def handle(self, msg: Message) -> Union[bool, int]:
         mtype = msg.mtype
-        if mtype is MessageType.LOAD:
+        if mtype is _LOAD:
             if msg.uncacheable:
                 return self._forward_mem(msg)
             # Flattened fetch-hit path (the LLC's hottest message).
             line = self.array.lookup(msg.addr)
             if line is None:
                 return self._fetch_miss(msg)
-            self._hits.value += 1
+            self._hits += 1
             sharers = self._dir.setdefault(line.addr, set())
             if msg.exclusive:
                 self._invalidate_sharers(line, except_core=msg.core)
@@ -115,9 +130,17 @@ class LastLevelCache(QueuedComponent):
                             line.version = version
                             line.state = MesiState.MODIFIED
                 sharers.add(msg.core)
-            resp = msg.make_response(MessageType.LOAD_RESP, line.version)
-            self.sim.schedule(self._hit_latency, self.resp_net.offer,
-                              resp, None)
+            resp = msg.make_response(_LOAD_RESP, line.version)
+            if self._hit_on_wheel:
+                # Inlined Simulator.schedule (wheel tier).
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                sim._wheel[(sim.now + self._hit_latency) & WHEEL_MASK].append(
+                    (seq, self._resp_offer, (resp, None)))
+                sim._wheel_count += 1
+            else:
+                self.sim.schedule(self._hit_latency, self._resp_offer,
+                                  resp, None)
             return True
         if mtype is MessageType.STORE:
             # Cached stores never reach the LLC as STOREs (they become
@@ -138,7 +161,7 @@ class LastLevelCache(QueuedComponent):
     # -- loads / fetches (GetS / GetM from the L1s) --------------------- #
 
     def _fetch_miss(self, msg: Message) -> Union[bool, int]:
-        self._misses.value += 1
+        self._misses += 1
         line_addr = self.array.line_addr(msg.addr)
         mshr = self._mshrs.get(line_addr)
         if mshr is not None:
@@ -148,7 +171,7 @@ class LastLevelCache(QueuedComponent):
             return 4
         fetch = Message(MessageType.LOAD, line_addr, msg.scope, msg.core,
                         self)
-        if not self.mem_link.offer(fetch, self):
+        if not self._mem_offer(fetch, self):
             return False
         mshr = _LlcMshr(msg.exclusive)
         mshr.waiters.append(msg)
@@ -169,14 +192,14 @@ class LastLevelCache(QueuedComponent):
         resp.release()
         sharers = self._dir.setdefault(line_addr, set())
         for waiter in mshr.waiters:
-            if waiter.mtype is MessageType.LOAD and not waiter.exclusive:
+            if waiter.mtype is _LOAD and not waiter.exclusive:
                 sharers.add(waiter.core)
-                self._respond(waiter, MessageType.LOAD_RESP, line.version)
+                self._respond(waiter, _LOAD_RESP, line.version)
             else:
                 self._invalidate_sharers(line, except_core=waiter.core)
                 sharers.clear()
                 sharers.add(waiter.core)
-                self._respond(waiter, MessageType.LOAD_RESP, line.version)
+                self._respond(waiter, _LOAD_RESP, line.version)
 
     def _install(self, line_addr: int, scope: Optional[int], version: int) -> CacheLine:
         victim = self.array.victim(line_addr)
@@ -259,7 +282,7 @@ class LastLevelCache(QueuedComponent):
             wb = Message.acquire(MessageType.WRITEBACK, addr=msg.addr,
                                  scope=msg.scope, core=msg.core,
                                  version=version)
-            if not self.mem_link.offer(wb, self):
+            if not self._mem_offer(wb, self):
                 return False
         self._respond(msg, MessageType.FLUSH_ACK, version)
         return True
@@ -274,7 +297,7 @@ class LastLevelCache(QueuedComponent):
                 return latency
         if not self._drain_writebacks():
             return False
-        if not self.mem_link.offer(msg, self):
+        if not self._mem_offer(msg, self):
             return False
         return True
 
@@ -336,7 +359,7 @@ class LastLevelCache(QueuedComponent):
 
     def _drain_writebacks(self) -> bool:
         while self._pending_wbs:
-            if not self.mem_link.offer(self._pending_wbs[0], self):
+            if not self._mem_offer(self._pending_wbs[0], self):
                 return False
             self._pending_wbs.popleft()
         return True
@@ -346,8 +369,17 @@ class LastLevelCache(QueuedComponent):
         super().unblock()
 
     def _forward_mem(self, msg: Message) -> bool:
-        return self.mem_link.offer(msg, self)
+        return self._mem_offer(msg, self)
 
     def _respond(self, req: Message, mtype: MessageType, version: int) -> None:
         resp = req.make_response(mtype, version=version)
-        self.sim.schedule(self._hit_latency, self.resp_net.offer, resp, None)
+        if self._hit_on_wheel:
+            # Inlined Simulator.schedule (wheel tier).
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[(sim.now + self._hit_latency) & WHEEL_MASK].append(
+                (seq, self._resp_offer, (resp, None)))
+            sim._wheel_count += 1
+        else:
+            self.sim.schedule(self._hit_latency, self._resp_offer,
+                              resp, None)

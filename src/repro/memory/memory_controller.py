@@ -23,9 +23,14 @@ from typing import Dict, List, Optional
 from repro.memory.versioned import VersionedMemory
 from repro.sim.component import Component
 from repro.sim.config import MemoryConfig
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK, WHEEL_SLOTS
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
+
+_LOAD = MessageType.LOAD
+_STORE = MessageType.STORE
+_WRITEBACK = MessageType.WRITEBACK
+_PIM_OP = MessageType.PIM_OP
 
 
 class MemoryController(Component):
@@ -53,10 +58,27 @@ class MemoryController(Component):
         #: executing (kept for statistics and external queries).
         self.scope_inflight: Dict[int, int] = {}
         self.stats = StatGroup(name)
-        self._served = self.stats.counter("requests_served")
-        self._pim_forwarded = self.stats.counter("pim_ops_forwarded")
+        # Service counters are batched as plain ints and synced into the
+        # StatGroup at snapshot time.
+        self._served = 0
+        self._pim_forwarded = 0
+        self.stats.register_flush(self._flush_stats)
         self._queue_len = self.stats.mean("queue_length_at_arrival",
                                           extremes=False)
+        # DRAM timing, predigested for the inlined wheel-tier schedules.
+        self._dram_interval = config.dram_service_interval
+        self._dram_latency = config.dram_latency
+        self._interval_on_wheel = 0 < self._dram_interval < WHEEL_SLOTS
+        self._latency_on_wheel = 0 < self._dram_latency < WHEEL_SLOTS
+        # Pre-bound callables for the per-request hot path.
+        self._serve_bound = self._serve
+        self._service_done_bound = self._service_done
+        self._resp_offer = resp_net.offer
+
+    def _flush_stats(self) -> None:
+        stats = self.stats
+        stats.counter("requests_served").value = self._served
+        stats.counter("pim_ops_forwarded").value = self._pim_forwarded
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -72,15 +94,15 @@ class MemoryController(Component):
         stat.total += len(queue)
         stat.count += 1
         queue.append(msg)
-        if msg.mtype is MessageType.PIM_OP:
+        if msg.mtype is _PIM_OP:
             # Arrival at the MC is the ordering point: ACK now (Fig. 6a-b).
             self.scope_inflight[msg.scope] = self.scope_inflight.get(msg.scope, 0) + 1
             if msg.reply_to is not None:
                 ack = msg.make_response(MessageType.PIM_ACK)
-                self.resp_net.offer(ack, None)
+                self._resp_offer(ack, None)
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        sim._ring.append((seq, self._serve, ()))
+        sim._ring.append((seq, self._serve_bound, ()))
         return True
 
     # ------------------------------------------------------------------ #
@@ -99,9 +121,9 @@ class MemoryController(Component):
                 # were checked by _pick, so this cannot fail).
                 queue.pop(index)
                 self.pim_module.offer(msg, self)
-                if msg.mtype is MessageType.PIM_OP:
-                    self._pim_forwarded.value += 1
-                self._served.value += 1
+                if msg.mtype is _PIM_OP:
+                    self._pim_forwarded += 1
+                self._served += 1
                 if self._waiting_senders:
                     self._wake_senders()
                 continue
@@ -109,32 +131,49 @@ class MemoryController(Component):
                 return
             # DRAM service: one message per service interval.
             queue.pop(index)
-            self._served.value += 1
+            self._served += 1
             if self._waiting_senders:
                 self._wake_senders()
             self._busy = True
-            self.sim.schedule(self.config.dram_service_interval, self._service_done)
+            if self._interval_on_wheel:
+                # Inlined Simulator.schedule (wheel tier).
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                sim._wheel[(sim.now + self._dram_interval) & WHEEL_MASK].append(
+                    (seq, self._service_done_bound, ()))
+                sim._wheel_count += 1
+            else:
+                self.sim.schedule(self._dram_interval, self._service_done_bound)
             self._service_dram(msg)
             return
 
     def _service_dram(self, msg: Message) -> None:
         mtype = msg.mtype
-        if mtype is MessageType.WRITEBACK:
+        if mtype is _WRITEBACK:
             self.memory.write(msg.addr, msg.version)
             msg.release()  # terminal: writebacks get no response
-        elif mtype is MessageType.LOAD:
+            return
+        if mtype is _LOAD:
             version = self.memory.read(msg.addr)
             resp = msg.make_response(MessageType.LOAD_RESP, version=version)
-            self.sim.schedule(self.config.dram_latency, self.resp_net.offer, resp, None)
-        elif mtype is MessageType.STORE:
+        elif mtype is _STORE:
             version = self.memory.bump(msg.addr)
             resp = msg.make_response(MessageType.STORE_ACK, version=version)
-            self.sim.schedule(self.config.dram_latency, self.resp_net.offer, resp, None)
         elif mtype is MessageType.FLUSH:
             resp = msg.make_response(MessageType.FLUSH_ACK)
-            self.sim.schedule(self.config.dram_latency, self.resp_net.offer, resp, None)
         else:  # pragma: no cover - defensive
             raise ValueError(f"MC cannot service {mtype}")
+        if self._latency_on_wheel:
+            # Inlined Simulator.schedule (wheel tier): the DRAM access
+            # latency is the hottest heap delay the seed kernel had.
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[(sim.now + self._dram_latency) & WHEEL_MASK].append(
+                (seq, self._resp_offer, (resp, None)))
+            sim._wheel_count += 1
+        else:
+            self.sim.schedule(self._dram_latency, self._resp_offer,
+                              resp, None)
 
     def _service_done(self) -> None:
         self._busy = False
@@ -190,11 +229,11 @@ class MemoryController(Component):
             self.scope_inflight.pop(scope, None)
         else:
             self.scope_inflight[scope] = count
-        self.sim.call_at_now(self._serve)
+        self.sim.call_at_now(self._serve_bound)
 
     def unblock(self) -> None:
         """The PIM module freed queue space."""
-        self.sim.call_at_now(self._serve)
+        self.sim.call_at_now(self._serve_bound)
 
     def _wake_senders(self) -> None:
         waiters = self._waiting_senders

@@ -33,9 +33,14 @@ from typing import Callable, Dict, Optional
 from repro.memory.versioned import VersionedMemory
 from repro.sim.component import Component
 from repro.sim.config import PimModuleConfig
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK, WHEEL_SLOTS
 from repro.sim.messages import Message, MessageType
 from repro.sim.stats import StatGroup
+
+_LOAD = MessageType.LOAD
+_STORE = MessageType.STORE
+_WRITEBACK = MessageType.WRITEBACK
+_PIM_OP = MessageType.PIM_OP
 
 
 class PimModule(Component):
@@ -93,8 +98,22 @@ class PimModule(Component):
                                                   extremes=False)
         self._scopes_at_arrival = self.stats.mean("unique_scopes_at_arrival",
                                                   extremes=False)
-        self._executed = self.stats.counter("ops_executed")
-        self._accesses = self.stats.counter("accesses_served")
+        # Batched as plain ints, synced into the StatGroup at snapshot.
+        self._executed = 0
+        self._accesses = 0
+        self.stats.register_flush(self._flush_stats)
+        self._access_on_wheel = 0 < access_latency < WHEEL_SLOTS
+        # Pre-bound callables for the per-access hot path.
+        self._resp_offer = resp_net.offer
+        self._serve_direct_bound = self._serve_direct
+        self._scope_done_bound = self._scope_done
+        self._advance_scope_bound = self._advance_scope
+        self._complete_op_bound = self._complete_op
+
+    def _flush_stats(self) -> None:
+        stats = self.stats
+        stats.counter("ops_executed").value = self._executed
+        stats.counter("accesses_served").value = self._accesses
 
     # ------------------------------------------------------------------ #
     # admission
@@ -133,7 +152,7 @@ class PimModule(Component):
             if sender is not None:
                 self._waiting_senders[sender] = None
             return False
-        if msg.mtype is MessageType.PIM_OP:
+        if msg.mtype is _PIM_OP:
             # Fig. 10a/b statistics: sampled at op arrival, before insertion.
             stat = self._buffer_at_arrival
             stat.total += self._buffered_ops
@@ -148,16 +167,21 @@ class PimModule(Component):
                 self._scopes_with_queued_ops += 1
         elif not self._conflicts_with_ops(msg):
             # Record-data access: its arrays are not written by PIM ops;
-            # serve it directly at the access rate.
-            self.sim.schedule(self.ACCESS_SERVICE_INTERVAL,
-                              self._serve_direct, msg)
+            # serve it directly at the access rate.  (Inlined wheel-tier
+            # Simulator.schedule; the interval is a small constant.)
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[
+                (sim.now + self.ACCESS_SERVICE_INTERVAL) & WHEEL_MASK
+            ].append((seq, self._serve_direct_bound, (msg,)))
+            sim._wheel_count += 1
             return True
         else:
             self._queued_accesses += 1
         queue = self._scope_queues.setdefault(msg.scope, deque())
         queue.append(msg)
         if msg.scope not in self._busy_scopes:
-            self.sim.call_at_now(self._advance_scope, msg.scope)
+            self.sim.call_at_now(self._advance_scope_bound, msg.scope)
         return True
 
     def _conflicts_with_ops(self, msg: Message) -> bool:
@@ -187,7 +211,7 @@ class PimModule(Component):
             return
         queue.popleft()
         self._busy_scopes[scope] = msg
-        if msg.mtype is MessageType.PIM_OP:
+        if msg.mtype is _PIM_OP:
             self._buffered_ops -= 1
             count = self._queued_ops_by_scope[scope] - 1
             self._queued_ops_by_scope[scope] = count
@@ -195,13 +219,20 @@ class PimModule(Component):
                 self._scopes_with_queued_ops -= 1
             if self._waiting_senders:
                 self._wake_senders()
-            self.sim.schedule(self._latency_of(msg), self._complete_op, msg)
+            # Op execution is long (microseconds): usually a heap delay,
+            # so the generic schedule() picks the tier.
+            self.sim.schedule(self._latency_of(msg), self._complete_op_bound, msg)
         else:
             self._queued_accesses -= 1
             if self._waiting_senders:
                 self._wake_senders()
             self._serve_access(msg)
-            self.sim.schedule(self.ACCESS_SERVICE_INTERVAL, self._scope_done, scope)
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[
+                (sim.now + self.ACCESS_SERVICE_INTERVAL) & WHEEL_MASK
+            ].append((seq, self._scope_done_bound, (scope,)))
+            sim._wheel_count += 1
 
     def _serve_direct(self, msg: Message) -> None:
         """Serve an access that bypassed the per-scope FIFO.
@@ -211,27 +242,35 @@ class PimModule(Component):
         their message alive in ``_busy_scopes`` until ``_scope_done``).
         """
         self._serve_access(msg)
-        if msg.mtype is MessageType.WRITEBACK:
+        if msg.mtype is _WRITEBACK:
             msg.release()
 
     def _serve_access(self, msg: Message) -> None:
-        self._accesses.value += 1
+        self._accesses += 1
         mtype = msg.mtype
-        if mtype is MessageType.LOAD:
+        if mtype is _LOAD:
             version = self.memory.read(msg.addr)
             resp = msg.make_response(MessageType.LOAD_RESP, version=version)
-            self.sim.schedule(self.access_latency, self.resp_net.offer, resp, None)
-        elif mtype is MessageType.STORE:
+        elif mtype is _STORE:
             version = self.memory.bump(msg.addr)
             resp = msg.make_response(MessageType.STORE_ACK, version=version)
-            self.sim.schedule(self.access_latency, self.resp_net.offer, resp, None)
-        elif mtype is MessageType.WRITEBACK:
+        elif mtype is _WRITEBACK:
             self.memory.write(msg.addr, msg.version)
+            return
         elif mtype is MessageType.FLUSH:
             resp = msg.make_response(MessageType.FLUSH_ACK)
-            self.sim.schedule(self.access_latency, self.resp_net.offer, resp, None)
         else:  # pragma: no cover - defensive
             raise ValueError(f"PIM module cannot serve {mtype}")
+        if self._access_on_wheel:
+            # Inlined Simulator.schedule (wheel tier).
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._wheel[(sim.now + self.access_latency) & WHEEL_MASK].append(
+                (seq, self._resp_offer, (resp, None)))
+            sim._wheel_count += 1
+        else:
+            self.sim.schedule(self.access_latency, self._resp_offer,
+                              resp, None)
 
     def _latency_of(self, msg: Message) -> int:
         if self.config.zero_logic:
@@ -251,7 +290,7 @@ class PimModule(Component):
         return running_ops >= limit
 
     def _complete_op(self, msg: Message) -> None:
-        self._executed.value += 1
+        self._executed += 1
         if self.on_execute is not None:
             self.on_execute(msg)
         if self.mc is not None:

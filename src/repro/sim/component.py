@@ -18,10 +18,11 @@ buffer fills, back-pressure propagates up to the host cores (Section VII).
 
 Hot-path notes: service kick-offs and wake-ups ride the kernel's
 immediate-dispatch ring (:meth:`Simulator.call_at_now`), never the heap;
-parked senders are kept in an insertion-ordered dict so the full-queue
-path is O(1) instead of a list-membership scan; the per-message service
-events are unavoidable (they advance simulated time) but everything
-around them stays allocation- and call-minimal.
+the per-message service and delivery events are unavoidable (they
+advance simulated time) but their rescheduling inlines the kernel's
+timing-wheel insert (:meth:`Simulator.schedule`, wheel tier) to skip
+the call frame; parked senders are kept in an insertion-ordered dict so
+the full-queue path is O(1) instead of a list-membership scan.
 """
 
 from __future__ import annotations
@@ -29,12 +30,21 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional, Union
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, WHEEL_MASK, WHEEL_SLOTS
 from repro.sim.messages import Message
 
 
 class Component:
-    """Base class: anything that lives in a simulation and has a name."""
+    """Base class: anything that lives in a simulation and has a name.
+
+    The component hierarchy declares ``__slots__``: the hot loops load
+    these attributes once per event, and slot descriptors keep that a
+    fixed-offset read.  Subclasses that declare their own attributes
+    (caches, cores, the MC) simply omit ``__slots__`` and get a dict for
+    the extras while the base attributes stay slotted.
+    """
+
+    __slots__ = ("sim", "name")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
@@ -57,6 +67,10 @@ class QueuedComponent(Component):
             (the stage's inverse bandwidth).
     """
 
+    __slots__ = ("capacity", "service_interval", "_interval_on_wheel",
+                 "_queue", "_waiting_senders", "_serving", "_stalled",
+                 "_notify_enqueue", "_notify_dequeue", "_serve_bound")
+
     def __init__(
         self,
         sim: Simulator,
@@ -67,6 +81,10 @@ class QueuedComponent(Component):
         super().__init__(sim, name)
         self.capacity = capacity
         self.service_interval = service_interval
+        # Service rescheduling inlines the kernel's wheel insert; a
+        # (config-pathological) interval past the wheel horizon falls
+        # back to the generic schedule() call.
+        self._interval_on_wheel = 0 < service_interval < WHEEL_SLOTS
         self._queue: deque = deque()
         # Insertion-ordered dedup of parked senders: dict membership is
         # O(1) where the old list scan was O(n), and iteration preserves
@@ -82,6 +100,10 @@ class QueuedComponent(Component):
         self._notify_dequeue = (
             type(self).on_dequeue is not QueuedComponent.on_dequeue
         )
+        # The service callback is pushed once per message; binding it
+        # here (virtual dispatch included) skips the per-push method
+        # object creation.
+        self._serve_bound = self._serve
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -109,7 +131,7 @@ class QueuedComponent(Component):
             # idle-to-busy transition of every pipeline stage.
             sim = self.sim
             sim._seq = seq = sim._seq + 1
-            sim._ring.append((seq, self._serve, ()))
+            sim._ring.append((seq, self._serve_bound, ()))
         return True
 
     def on_enqueue(self, msg: Message) -> None:
@@ -139,7 +161,7 @@ class QueuedComponent(Component):
                 self._serving = True
                 sim = self.sim
                 sim._seq = seq = sim._seq + 1
-                sim._ring.append((seq, self._serve, ()))
+                sim._ring.append((seq, self._serve_bound, ()))
 
     def _serve(self) -> None:
         queue = self._queue
@@ -160,16 +182,25 @@ class QueuedComponent(Component):
                 if not queue:
                     self._serving = False
                     return
-                interval = self.service_interval
-                if interval:
-                    self.sim.schedule(interval, self._serve)
+                if self._interval_on_wheel:
+                    # Inlined Simulator.schedule (wheel tier): this
+                    # reschedule runs once per message of every stage.
+                    sim = self.sim
+                    sim._seq = seq = sim._seq + 1
+                    sim._wheel[
+                        (sim.now + self.service_interval) & WHEEL_MASK
+                    ].append((seq, self._serve_bound, ()))
+                    sim._wheel_count += 1
+                    return
+                if self.service_interval:
+                    self.sim.schedule(self.service_interval, self._serve_bound)
                     return
             elif result is False:
                 self._serving = False
                 self._stalled = True
                 return
             else:
-                self.sim.schedule(result, self._serve)
+                self.sim.schedule(result, self._serve_bound)
                 return
 
     def on_dequeue(self) -> None:
@@ -192,6 +223,10 @@ class Link(QueuedComponent):
     propagates to the input queue.
     """
 
+    __slots__ = ("downstream", "latency", "_latency_on_wheel",
+                 "pipe_capacity", "_in_flight", "_delivering",
+                 "_dispatch_direct", "_try_deliver_bound")
+
     def __init__(
         self,
         sim: Simulator,
@@ -205,6 +240,7 @@ class Link(QueuedComponent):
         super().__init__(sim, name, capacity=capacity, service_interval=service_interval)
         self.downstream = downstream
         self.latency = latency
+        self._latency_on_wheel = 0 < latency < WHEEL_SLOTS
         self.pipe_capacity = pipe_capacity or max(2, latency)
         self._in_flight: deque = deque()
         self._delivering = False
@@ -212,6 +248,7 @@ class Link(QueuedComponent):
         # the delivery loop hands those straight to ``msg.reply_to``
         # without bouncing through offer().
         self._dispatch_direct = isinstance(downstream, ResponseDispatcher)
+        self._try_deliver_bound = self._try_deliver
 
     def _serve(self) -> None:
         # Fuses QueuedComponent._serve with what Link.handle would do
@@ -222,29 +259,44 @@ class Link(QueuedComponent):
         # the Link's only service path -- there is deliberately no
         # separate handle() to keep the logic in one place.
         sim = self.sim
+        queue = self._queue
+        in_flight = self._in_flight
+        pipe_capacity = self.pipe_capacity
+        latency = self.latency
         while True:
-            queue = self._queue
             if not queue:
                 self._serving = False
                 return
-            in_flight = self._in_flight
-            if len(in_flight) >= self.pipe_capacity:
+            if len(in_flight) >= pipe_capacity:
                 self._serving = False
                 self._stalled = True
                 return
-            latency = self.latency
             in_flight.append((sim.now + latency, queue.popleft()))
             if not self._delivering:
                 self._delivering = True
-                sim.schedule(latency, self._try_deliver)
+                if self._latency_on_wheel:
+                    # Inlined Simulator.schedule (wheel tier).
+                    sim._seq = seq = sim._seq + 1
+                    sim._wheel[(sim.now + latency) & WHEEL_MASK].append(
+                        (seq, self._try_deliver_bound, ()))
+                    sim._wheel_count += 1
+                else:
+                    sim.schedule(latency, self._try_deliver_bound)
             if self._waiting_senders:
                 self._wake_senders()
             if not queue:
                 self._serving = False
                 return
-            interval = self.service_interval
-            if interval:
-                sim.schedule(interval, self._serve)
+            if self._interval_on_wheel:
+                # Inlined Simulator.schedule (wheel tier).
+                sim._seq = seq = sim._seq + 1
+                sim._wheel[
+                    (sim.now + self.service_interval) & WHEEL_MASK
+                ].append((seq, self._serve_bound, ()))
+                sim._wheel_count += 1
+                return
+            if self.service_interval:
+                sim.schedule(self.service_interval, self._serve_bound)
                 return
 
     def _try_deliver(self) -> None:
@@ -255,13 +307,19 @@ class Link(QueuedComponent):
             # Response-network fast path: the dispatcher always accepts,
             # so deliver straight to each message's reply_to.
             while in_flight:
-                head = in_flight[0]
-                arrival = head[0]
+                arrival, msg = in_flight[0]
                 if arrival > now:
-                    sim.schedule(arrival - now, self._try_deliver)
+                    if self._latency_on_wheel:
+                        # Inlined Simulator.schedule (wheel tier): the gap
+                        # to the next arrival never exceeds the latency.
+                        sim._seq = seq = sim._seq + 1
+                        sim._wheel[arrival & WHEEL_MASK].append(
+                            (seq, self._try_deliver_bound, ()))
+                        sim._wheel_count += 1
+                    else:
+                        sim.schedule(arrival - now, self._try_deliver_bound)
                     return
                 in_flight.popleft()
-                msg = head[1]
                 msg.reply_to.receive_response(msg)
                 if self._stalled:
                     QueuedComponent.unblock(self)
@@ -272,7 +330,13 @@ class Link(QueuedComponent):
             head = in_flight[0]
             arrival = head[0]
             if arrival > now:
-                sim.schedule(arrival - now, self._try_deliver)
+                if self._latency_on_wheel:
+                    sim._seq = seq = sim._seq + 1
+                    sim._wheel[arrival & WHEEL_MASK].append(
+                        (seq, self._try_deliver_bound, ()))
+                    sim._wheel_count += 1
+                else:
+                    sim.schedule(arrival - now, self._try_deliver_bound)
                 return
             if not downstream_offer(head[1], self):
                 # Downstream full: it will call our unblock() when space
@@ -291,7 +355,7 @@ class Link(QueuedComponent):
         # wake-up for the service stage.
         if self._in_flight and not self._delivering:
             self._delivering = True
-            self.sim.call_at_now(self._try_deliver)
+            self.sim.call_at_now(self._try_deliver_bound)
         QueuedComponent.unblock(self)
 
 
@@ -304,6 +368,8 @@ class ResponseDispatcher(Component):
     ``receive_response`` owns the message afterwards and releases pooled
     responses back to the free list.
     """
+
+    __slots__ = ()
 
     def offer(self, msg: Message, sender: Optional[Component] = None) -> bool:
         msg.reply_to.receive_response(msg)

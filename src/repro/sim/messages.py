@@ -105,7 +105,6 @@ class Message:
         "version",
         "op_id",
         "req",
-        "issue_time",
         "_pooled",
     )
 
@@ -132,7 +131,6 @@ class Message:
         self.version = version
         self.op_id = next(_ids)
         self.req: Optional[Message] = None
-        self.issue_time: int = 0
         #: Only messages acquired from the pool may return to it; this
         #: keeps externally constructed messages (tests, workload code)
         #: out of the recycling loop, so holding one across a run can
@@ -171,7 +169,6 @@ class Message:
             msg.version = version
             msg.op_id = next(_ids)
             msg.req = None
-            msg.issue_time = 0
             msg._pooled = True
             return msg
         msg = cls(mtype, addr, scope, core, reply_to, exclusive,
@@ -184,6 +181,12 @@ class Message:
 
         Idempotent: releasing twice, or releasing a message built with
         the plain constructor, does nothing.
+
+        Pool invariant: every message that reaches the free list -- a
+        response or a terminal writeback -- carries ``exclusive ==
+        uncacheable == direct == False``, so :meth:`make_response` skips
+        resetting those flags.  A caller that acquires a flagged message
+        must clear the flags before releasing it.
         """
         if self._pooled:
             self._pooled = False
@@ -205,12 +208,10 @@ class Message:
             resp.scope = self.scope
             resp.core = self.core
             resp.reply_to = self.reply_to
-            resp.exclusive = False
-            resp.uncacheable = False
-            resp.direct = False
+            # exclusive/uncacheable/direct stay False: see the pool
+            # invariant in release().
             resp.version = version
             resp.op_id = next(_ids)
-            resp.issue_time = 0
             resp._pooled = True
         else:
             resp = Message(mtype, self.addr, self.scope, self.core,
