@@ -16,35 +16,31 @@ import os
 from dataclasses import asdict, replace
 from typing import Callable, Dict, List, Optional
 
-from repro.api import Experiment, Runner, backend_for
+from repro.api import Axis, Experiment, Runner, Sweep, backend_for
+from repro.api import sweep as campaign_defs
 from repro.core.models import ConsistencyModel
 from repro.sim.config import SystemConfig
 from repro.system.simulation import SimulationResult
 from repro.workloads.ycsb import YcsbParams
 
-#: Model order used in every figure.
-ALL_MODELS = [
-    ConsistencyModel.NAIVE,
-    ConsistencyModel.SW_FLUSH,
-    ConsistencyModel.ATOMIC,
-    ConsistencyModel.STORE,
-    ConsistencyModel.SCOPE,
-    ConsistencyModel.SCOPE_RELAXED,
-]
+#: Model order used in every figure (the campaign registry's order).
+ALL_MODELS = [ConsistencyModel(name) for name in campaign_defs.SIX_MODELS]
 
 PROPOSED_MODELS = [m for m in ALL_MODELS if m.is_proposed]
 
 #: YCSB sweep: scaled scope counts standing in for the paper's 4..977.
-SCOPE_SWEEP = [4, 8, 16, 32, 48]
+#: Shared with the paper-grid campaign so figure points and campaign
+#: points hash identically (see benchmarks/test_campaign_parity.py).
+SCOPE_SWEEP = list(campaign_defs.SCOPE_SWEEP)
 
 #: Records per scope in the scaled configuration.
-RECORDS_PER_SWEEP_SCOPE = 2000
+RECORDS_PER_SWEEP_SCOPE = campaign_defs.RECORDS_PER_SCOPE
 
 #: Operations per YCSB run (the paper uses 1000; scaled for wall-clock).
-YCSB_OPS = 30
+YCSB_OPS = campaign_defs.YCSB_OPS
 
 #: Event budget per simulation point.
-MAX_EVENTS = 200_000_000
+MAX_EVENTS = campaign_defs.MAX_EVENTS
 
 
 #: One Runner per pytest session: its spec-hash cache replaces the old
@@ -120,13 +116,43 @@ def run_tpch(model: ConsistencyModel, query: str,
 def ycsb_sweep(models: List[ConsistencyModel], variant: str = "base",
                config_fn=None, threads: int = 4,
                scopes: Optional[List[int]] = None) -> Dict[str, List[SimulationResult]]:
-    """A model x scope-count sweep, dispatched as one Runner batch."""
+    """The model x scope-count grid, declared as a Sweep.
+
+    The grid expands declaratively (scope count zipped to its derived
+    record count, models crossed over them) and dispatches as one Runner
+    batch; ``config_fn`` rides along as the sweep's in-process transform
+    for the Fig. 11/12 hardware overrides that plain data cannot express.
+    The expanded specs are identical to :func:`ycsb_experiment`'s, so
+    single figure points and whole sweeps share the spec-hash cache.
+    """
     scopes = scopes or SCOPE_SWEEP
-    experiments = [
-        ycsb_experiment(model, n, variant, config_fn, threads)
-        for model in models for n in scopes
-    ]
-    results = runner.run_all(experiments)
+    base_config: Dict[str, object] = {"preset": "scaled"}
+    if threads != 4:
+        base_config["cores"] = {"num_cores": 2 * threads}
+    transform = None
+    if config_fn is not None:
+        transform = lambda exp, coords: replace(  # noqa: E731
+            exp, config=config_fn(exp.config))
+    sweep = Sweep(
+        name=f"ycsb-{variant}",
+        base={
+            "workload": "ycsb",
+            "params": asdict(ycsb_params(0, threads)),
+            "config": base_config,
+            "variant": variant,
+            "max_events": MAX_EVENTS,
+        },
+        axes=(
+            Axis("model", tuple(m.value for m in models)),
+            Axis("scopes", tuple(scopes)),
+            Axis("records",
+                 tuple(RECORDS_PER_SWEEP_SCOPE * n for n in scopes),
+                 path="params.num_records", hidden=True),
+        ),
+        zip_groups=(("scopes", "records"),),
+        transform=transform,
+    )
+    results = runner.run_all(sweep.experiments())
     per_point = iter(results)
     return {
         model.value: [next(per_point) for _ in scopes]

@@ -1,0 +1,28 @@
+"""The paper-grid campaign and the figure harness share specs.
+
+The campaign subsystem promises that a figure benchmark's single points
+and the registered campaigns expand to hash-identical Experiment specs,
+so they share the Runner's spec-hash cache and EXPERIMENTS.md reports
+exactly what the figure benchmarks measured.  This test gates that
+equality: if either side's scaling constants drift, it fails.
+"""
+
+from harness import ALL_MODELS, SCOPE_SWEEP, tpch_experiment, ycsb_experiment
+
+from repro.api.sweep import get_campaign
+
+
+def test_paper_grid_covers_the_harness_ycsb_sweep_spec_for_spec():
+    grid_hashes = {p.experiment.spec_hash()
+                   for p in get_campaign("paper-grid").points()}
+    for model in ALL_MODELS:
+        for num_scopes in SCOPE_SWEEP:
+            assert ycsb_experiment(model, num_scopes).spec_hash() \
+                in grid_hashes, (model, num_scopes)
+
+
+def test_paper_grid_covers_the_harness_tpch_points():
+    grid_hashes = {p.experiment.spec_hash()
+                   for p in get_campaign("paper-grid").points()}
+    for model in ALL_MODELS:
+        assert tpch_experiment(model, "q6").spec_hash() in grid_hashes, model

@@ -14,7 +14,7 @@ Run: python examples/tpch_filter.py [query]
 import sys
 
 from repro.analysis.report import format_table
-from repro.api import Experiment, Runner
+from repro.api import Axis, Campaign, Sweep, run_campaign
 from repro.core.scope import ScopeMap
 from repro.pim.database import PimDatabase
 from repro.pim.isa import PimInstruction
@@ -60,17 +60,21 @@ def timing_run(query: str) -> None:
     print(f"=== Timing: {query} ({spec.section}, {spec.scopes} scopes at "
           f"paper scale) ===")
     num_scopes = TpchWorkload(query, scale=1 / 64).scaled_scopes()
-    experiments = [
-        Experiment.from_dict({
-            "workload": "tpch",
-            "params": {"query": query, "scale": 1 / 64, "runs": 3},
-            "config": {"preset": "scaled", "model": model,
-                       "num_scopes": num_scopes},
-            "max_events": 200_000_000,
-        })
-        for model in ("naive", "atomic", "scope")
-    ]
-    results = Runner().run_all(experiments)
+    campaign = Campaign(
+        name="tpch-timing",
+        title=f"TPC-H {query} per consistency model",
+        sweeps=(Sweep(
+            name="tpch",
+            base={
+                "workload": "tpch",
+                "params": {"query": query, "scale": 1 / 64, "runs": 3},
+                "config": {"preset": "scaled", "num_scopes": num_scopes},
+                "max_events": 200_000_000,
+            },
+            axes=(Axis("model", ("naive", "atomic", "scope")),),
+        ),),
+    )
+    results = run_campaign(campaign).results()
     naive_time = results[0].run_time
     rows = [[r.model_name, r.run_time, r.run_time / naive_time,
              r.stale_reads] for r in results]

@@ -3,9 +3,10 @@
 Reproduces the flavour of Figs. 3 and 7 in one table: for a fixed
 database size, run the 95%-scan / 5%-insert YCSB mix (Table III) under
 the four proposed consistency models and the three baselines, and report
-run time (normalized to Naive) plus correctness.  The whole sweep is a
-list of declarative Experiment specs handed to one Runner; pass a jobs
-count to fan it across worker processes.
+run time (normalized to Naive) plus correctness.  The whole grid is one
+declarative Sweep -- a base experiment template crossed with a model
+axis -- executed as a campaign; pass a jobs count to fan it across
+worker processes.
 
 Run: python examples/ycsb_scan.py [num_scopes] [jobs]
 """
@@ -13,9 +14,8 @@ Run: python examples/ycsb_scan.py [num_scopes] [jobs]
 import sys
 
 from repro.analysis.report import format_table
-from repro.api import Experiment, Runner, backend_for
+from repro.api import Axis, Campaign, Sweep, run_campaign
 from repro.core.models import ConsistencyModel
-from repro.sim.config import SystemConfig
 from repro.workloads.ycsb import YcsbParams, YcsbWorkload
 
 MODELS = [
@@ -38,17 +38,21 @@ def main(num_scopes: int = 16, jobs: int = 1) -> None:
     print(f"scan PIM-op latency (from compiled MAGIC microcode): "
           f"{workload.pim_op_latency():,} host cycles at paper scale\n")
 
-    experiments = [
-        Experiment(
-            workload="ycsb",
-            config=SystemConfig.scaled_default(model=model,
-                                               num_scopes=num_scopes),
-            params=workload.params,
-            max_events=200_000_000,
-        )
-        for model in MODELS
-    ]
-    results = Runner(backend=backend_for(jobs)).run_all(experiments)
+    campaign = Campaign(
+        name="ycsb-scan",
+        title="YCSB scans under every coherency/consistency design",
+        sweeps=(Sweep(
+            name="ycsb",
+            base={
+                "workload": "ycsb",
+                "params": workload.params,
+                "config": {"preset": "scaled", "num_scopes": num_scopes},
+                "max_events": 200_000_000,
+            },
+            axes=(Axis("model", tuple(m.value for m in MODELS)),),
+        ),),
+    )
+    results = run_campaign(campaign, jobs=jobs).results()
 
     rows = []
     naive_time = next(r for r in results if r.model_name == "naive").run_time

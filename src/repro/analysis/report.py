@@ -1,7 +1,8 @@
 """Plain-text table and series formatting for the benchmark harness.
 
 The benches print the same rows/series the paper's figures plot; these
-helpers keep the output uniform and diff-able (EXPERIMENTS.md embeds it).
+helpers keep the output uniform and diff-able.  Campaign results render
+through :func:`campaign_markdown` into the checked-in ``EXPERIMENTS.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +40,48 @@ def format_series(x_name: str, xs: Sequence[Number],
 
 
 def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def campaign_markdown(result) -> str:
+    """Render a :class:`~repro.api.sweep.CampaignResult` as Markdown.
+
+    The output is fully determined by the campaign's specs and results
+    (no timestamps, no machine state), so regenerating it is diff-able:
+    a changed line in ``EXPERIMENTS.md`` means the simulation changed.
+    """
+    campaign = result.campaign
+    lines: List[str] = [f"# {campaign.title}", ""]
+    if campaign.description:
+        lines += [campaign.description.strip(), ""]
+    failed = result.failed_points
+    lines += [
+        f"Campaign `{campaign.name}`: {len(result.points)} points"
+        + (f", **{len(failed)} failed**" if failed else "") + ".",
+        "",
+        f"Result digest: `{result.digest()}`",
+        "",
+        "Regenerate with: `repro-bench sweep run "
+        f"{campaign.name} --report <file>`",
+        "",
+    ]
+    for pivot in campaign.pivots:
+        xs, series = result.series(pivot)
+        if not xs:
+            continue
+        lines += [f"## {pivot.title}", "", "```",
+                  format_series(pivot.x, xs, series), "```", ""]
+    headers, rows = result.table()
+    lines += ["## All points", "", "```",
+              format_table(headers, rows), "```", ""]
+    if failed:
+        lines += ["## Failures", ""]
+        for point in failed:
+            last = (point.error or "").strip().splitlines()
+            lines += [f"* `{point.name}`: {last[-1] if last else 'unknown'}"]
+        lines += [""]
+    return "\n".join(lines)

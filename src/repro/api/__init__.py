@@ -22,6 +22,11 @@ Workloads are resolved by name through the registry
 (:func:`register_workload`); results come back as
 :class:`~repro.system.simulation.SimulationResult` with typed
 :class:`StatsView` access.
+
+Whole evaluation grids are declared as :class:`Sweep`/:class:`Campaign`
+specs (:mod:`repro.api.sweep`) and executed with :func:`run_campaign`:
+spec-hash deduplication, process-pool sharding, per-point failure
+isolation, and figure-grade aggregation into ``EXPERIMENTS.md``.
 """
 
 from repro.api.backends import (
@@ -45,16 +50,32 @@ from repro.api.registry import (
 )
 from repro.api.results import SimulationResult, StatsView, headline
 from repro.api.runner import Runner
+from repro.api.sweep import (
+    Axis,
+    Campaign,
+    CampaignResult,
+    CAMPAIGNS,
+    Pivot,
+    Sweep,
+    get_campaign,
+    run_campaign,
+)
 
 __all__ = [
+    "Axis",
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
     "Experiment",
     "ExecutionBackend",
+    "Pivot",
     "ProcessPoolBackend",
     "REGISTRY",
     "Runner",
     "SerialBackend",
     "SimulationResult",
     "StatsView",
+    "Sweep",
     "UnknownWorkloadError",
     "WorkloadRegistry",
     "backend_for",
@@ -62,6 +83,8 @@ __all__ = [
     "config_to_dict",
     "execute_experiment",
     "freeze_params",
+    "get_campaign",
     "headline",
     "register_workload",
+    "run_campaign",
 ]

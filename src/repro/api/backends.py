@@ -20,7 +20,9 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
 
 from repro.api.experiment import Experiment
 from repro.system.simulation import SimulationResult, run_workload
@@ -34,6 +36,34 @@ def execute_experiment(experiment: Experiment) -> SimulationResult:
     )
 
 
+@dataclass
+class ExperimentFailure:
+    """One failed point of a settled batch.
+
+    Plain data (a traceback string), so it crosses the process-pool
+    boundary exactly like a result does.
+    """
+
+    error: str
+
+
+#: What one point of a settled batch yields.
+Settled = Union[SimulationResult, ExperimentFailure]
+
+
+def execute_experiment_settled(experiment: Experiment) -> Settled:
+    """Run one spec, converting any failure into :class:`ExperimentFailure`.
+
+    This is the per-point isolation primitive of campaign execution: a
+    workload that cannot even be built (bad parameters) or a simulation
+    that dies mid-run reports as data instead of aborting the batch.
+    """
+    try:
+        return execute_experiment(experiment)
+    except Exception:  # noqa: BLE001 - the point is to report, not crash
+        return ExperimentFailure(traceback.format_exc())
+
+
 class ExecutionBackend(abc.ABC):
     """How a Runner turns experiment specs into results."""
 
@@ -42,6 +72,10 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def run_all(self, experiments: Sequence[Experiment]) -> List[SimulationResult]:
         """Execute every experiment; results align with the input order."""
+
+    def run_all_settled(self, experiments: Sequence[Experiment]) -> List[Settled]:
+        """Like :meth:`run_all`, but failures isolate to their point."""
+        return [execute_experiment_settled(e) for e in experiments]
 
     def run(self, experiment: Experiment) -> SimulationResult:
         return self.run_all([experiment])[0]
@@ -81,14 +115,19 @@ class ProcessPoolBackend(ExecutionBackend):
         self.chunksize = chunksize
 
     def run_all(self, experiments: Sequence[Experiment]) -> List[SimulationResult]:
+        return self._map(execute_experiment, experiments)
+
+    def run_all_settled(self, experiments: Sequence[Experiment]) -> List[Settled]:
+        return self._map(execute_experiment_settled, experiments)
+
+    def _map(self, fn, experiments: Sequence[Experiment]) -> List:
         experiments = list(experiments)
         workers = min(self.jobs, len(experiments))
         if workers <= 1:
-            return SerialBackend().run_all(experiments)
+            return [fn(e) for e in experiments]
         ctx = self._context()
         with ctx.Pool(processes=workers) as pool:
-            return pool.map(execute_experiment, experiments,
-                            chunksize=self.chunksize)
+            return pool.map(fn, experiments, chunksize=self.chunksize)
 
     @staticmethod
     def _context():

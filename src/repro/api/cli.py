@@ -1,9 +1,21 @@
 """``repro-bench``: run experiment sweeps from the command line.
 
-Three subcommands::
+Four subcommands::
 
     repro-bench list
         Show the registered workloads and their parameters.
+
+    repro-bench sweep list
+    repro-bench sweep list-points CAMPAIGN
+    repro-bench sweep run CAMPAIGN [--jobs N|auto] [--output FILE]
+                          [--report FILE] [--resume FILE]
+        Declarative campaigns: expand a registered campaign (or a JSON
+        campaign file) into its experiment grid and execute it with
+        per-point failure isolation.  ``--output`` writes the campaign
+        JSON artifact (results + digest), ``--report`` renders the
+        figure-grade Markdown report (EXPERIMENTS.md), ``--resume``
+        pre-seeds the run from an earlier artifact so only missing or
+        previously failed points simulate.
 
     repro-bench run WORKLOAD [--models atomic,scope,...] [--num-scopes 4,8]
                     [--param key=value ...] [--preset scaled|paper]
@@ -29,6 +41,8 @@ Examples::
     repro-bench run ycsb --num-scopes 4,8 --param num_ops=30
     repro-bench run tpch --param query=q6 --param scale=0.015625
     repro-bench perf --quick --check BENCH_kernel.json
+    repro-bench sweep run smoke --jobs 2 --output smoke.json
+    repro-bench sweep run paper-grid --jobs auto --report EXPERIMENTS.md
 
 For YCSB, ``num_records`` defaults to ``2000 * num_scopes`` (the
 benchmark harness's scaled sweep density) unless given via ``--param``.
@@ -103,6 +117,27 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="measure event-kernel throughput on the pinned "
                         "benchmark configurations")
 
+    sweep = sub.add_parser("sweep", help="declarative campaign sweeps")
+    ssub = sweep.add_subparsers(dest="sweep_command", required=True)
+    ssub.add_parser("list", help="list registered campaigns")
+    points = ssub.add_parser("list-points",
+                             help="show a campaign's expanded points")
+    points.add_argument("campaign",
+                        help="registered campaign name or JSON campaign file")
+    srun = ssub.add_parser("run", help="execute a campaign")
+    srun.add_argument("campaign",
+                      help="registered campaign name or JSON campaign file")
+    srun.add_argument("--jobs", default="1", metavar="N|auto",
+                      help="worker processes; 'auto' uses every core")
+    srun.add_argument("--output", default=None, metavar="FILE",
+                      help="write the campaign JSON artifact "
+                           "(results + digest)")
+    srun.add_argument("--report", default=None, metavar="FILE",
+                      help="write the Markdown report (EXPERIMENTS.md)")
+    srun.add_argument("--resume", default=None, metavar="FILE",
+                      help="pre-seed from an earlier --output artifact; "
+                           "only missing/failed points simulate")
+
     run = sub.add_parser("run", help="run a workload sweep")
     run.add_argument("workload", help="registered workload name")
     run.add_argument("--models", default="all",
@@ -142,6 +177,126 @@ def _default_scopes(workload: str, params: Dict[str, object]) -> int:
         workload_obj = REGISTRY.create("tpch", params)
         return workload_obj.scaled_scopes()
     return 4
+
+
+def _load_campaign(name: str):
+    """A campaign by registered name, or from a JSON campaign file."""
+    import json
+    import os
+
+    from repro.api.sweep import Campaign, campaign_names, get_campaign
+
+    if os.path.exists(name) or name.endswith(".json"):
+        try:
+            with open(name, "r", encoding="utf-8") as handle:
+                return Campaign.from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load campaign file {name!r}: {exc}") \
+                from None
+    try:
+        return get_campaign(name)
+    except ValueError:
+        raise SystemExit(
+            f"unknown campaign {name!r}; registered: "
+            f"{', '.join(campaign_names())} (or pass a JSON campaign file)"
+        ) from None
+
+
+def _parse_jobs(text: str) -> int:
+    import os
+
+    if text == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise SystemExit(f"--jobs expects an integer or 'auto', got {text!r}")
+    if jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    return jobs
+
+
+def _cmd_sweep_list() -> int:
+    from repro.api.sweep import campaign_names, get_campaign
+
+    print("Registered campaigns:")
+    width = max(len(name) for name in campaign_names())
+    for name in campaign_names():
+        campaign = get_campaign(name)
+        print(f"  {name:<{width}}  {len(campaign.points())} points -- "
+              f"{campaign.title}")
+    return 0
+
+
+def _cmd_sweep_list_points(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args.campaign)
+    points = campaign.points()
+    seen: Dict[str, str] = {}
+    print(f"{campaign.name}: {len(points)} points")
+    for point in points:
+        spec = point.experiment.spec_hash()
+        dup = f"  (= {seen[spec]})" if spec in seen else ""
+        seen.setdefault(spec, point.name)
+        print(f"  {spec}  {point.name}{dup}")
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import campaign_markdown, format_table
+    from repro.api.backends import backend_for
+    from repro.api.runner import Runner
+    from repro.api.sweep import load_results, run_campaign
+
+    campaign = _load_campaign(args.campaign)
+    jobs = _parse_jobs(args.jobs)
+    resume = None
+    if args.resume is not None:
+        try:
+            with open(args.resume, "r", encoding="utf-8") as handle:
+                resume = load_results(json.load(handle))
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"cannot resume from {args.resume!r}: {exc}") from None
+
+    points = campaign.points()
+    hashes = {p.experiment.spec_hash() for p in points}
+    cached = len(hashes & set(resume)) if resume else 0
+    backend = backend_for(jobs)
+    print(f"campaign {campaign.name}: {len(points)} points "
+          f"({len(hashes)} unique, {cached} from cache) "
+          f"on the {backend.name} backend")
+
+    result = run_campaign(campaign, runner=Runner(backend=backend),
+                          resume=resume)
+    headers, rows = result.table()
+    print(format_table(headers, rows, title=f"{campaign.name} campaign"))
+    print(f"digest: {result.digest()}")
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote artifact {args.output}")
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(campaign_markdown(result))
+        print(f"wrote report {args.report}")
+
+    for point in result.failed_points:
+        last = (point.error or "").strip().splitlines()
+        print(f"FAILED {point.name}: {last[-1] if last else 'unknown'}")
+    return 1 if result.failed_points else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command == "list":
+        return _cmd_sweep_list()
+    if args.sweep_command == "list-points":
+        return _cmd_sweep_list_points(args)
+    return _cmd_sweep_run(args)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -211,6 +366,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(arg_list)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return _cmd_run(args)
 
 

@@ -13,11 +13,18 @@ experiment's :meth:`~repro.api.experiment.Experiment.spec_hash`, so
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.api.backends import ExecutionBackend, SerialBackend
+from repro.api.backends import (
+    ExecutionBackend,
+    ExperimentFailure,
+    SerialBackend,
+)
 from repro.api.experiment import Experiment
 from repro.system.simulation import SimulationResult
+
+#: One point of a settled batch: ``(result, None)`` or ``(None, error)``.
+Outcome = Tuple[Optional[SimulationResult], Optional[str]]
 
 
 class Runner:
@@ -45,27 +52,68 @@ class Runner:
         """Run a sweep; results align with the input order.
 
         Cache hits are served without touching the backend; duplicate
-        specs within the sweep execute once.
+        specs within the sweep execute once.  A batch mixing cached and
+        uncached points still makes exactly one backend dispatch, of the
+        misses only, so resumed campaigns keep their sharding.
+        """
+        hashes, memo, missing = self._partition(experiments)
+        if missing:
+            results = self.backend.run_all(list(missing.values()))
+            memo.update(zip(missing.keys(), results))
+        return [memo[h] for h in hashes]
+
+    def run_settled(self, experiments: Iterable[Experiment]) -> List[Outcome]:
+        """Run a sweep with per-point failure isolation.
+
+        Same batch path as :meth:`run_all` -- one dispatch of the cache
+        misses -- but a point that fails reports ``(None, traceback)``
+        instead of aborting the batch.  Only successes enter the cache,
+        so a resumed campaign retries exactly its failures.
+        """
+        hashes, memo, missing = self._partition(experiments)
+        failed: Dict[str, str] = {}
+        if missing:
+            outcomes = self.backend.run_all_settled(list(missing.values()))
+            for h, outcome in zip(missing.keys(), outcomes):
+                if isinstance(outcome, ExperimentFailure):
+                    failed[h] = outcome.error
+                else:
+                    memo[h] = outcome
+        return [(memo.get(h), failed.get(h)) for h in hashes]
+
+    def _partition(self, experiments: Iterable[Experiment]):
+        """Hash the batch and split it into (hashes, memo, misses).
+
+        ``memo`` is the live cache (or a throwaway dict with caching off:
+        the batch still dedupes, but nothing persists across calls);
+        ``misses`` maps spec hash -> experiment for the points the
+        backend must actually run, in input order, each unique spec once.
         """
         experiments = list(experiments)
         hashes = [e.spec_hash() for e in experiments]
-        # With caching off, memoize into a throwaway dict: the batch still
-        # dedupes, but nothing persists across calls.
         memo = self._cache if self._cache is not None else {}
         missing: Dict[str, Experiment] = {}
         for h, e in zip(hashes, experiments):
             if h not in memo:
                 missing.setdefault(h, e)
-        if missing:
-            results = self.backend.run_all(list(missing.values()))
-            memo.update(zip(missing.keys(), results))
-        return [memo[h] for h in hashes]
+        return hashes, memo, missing
 
     # ------------------------------------------------------------------ #
 
     @property
     def cache_size(self) -> int:
         return len(self._cache) if self._cache is not None else 0
+
+    def preload(self, results: Mapping[str, SimulationResult]) -> int:
+        """Seed the cache with spec-hash-keyed results (campaign resume).
+
+        Returns how many entries were installed; a no-op (returning 0)
+        when caching is disabled.
+        """
+        if self._cache is None:
+            return 0
+        self._cache.update(results)
+        return len(results)
 
     def cached(self, experiment: Experiment) -> Optional[SimulationResult]:
         """The cached result for a spec, or ``None``."""

@@ -54,6 +54,10 @@ class YcsbParams:
     #: for a range filter (>=, <, AND, plus result housekeeping); their
     #: temporal locality is what the scope buffer exploits (Section IV-A).
     pim_ops_per_scan: int = 4
+    #: Zipfian skew (YCSB's theta) of the scan base-record distribution;
+    #: sweep it to move between near-uniform (0.0+) and heavily skewed
+    #: (towards 1.0) access patterns.
+    zipf_theta: float = ZipfianGenerator.ZIPFIAN_CONSTANT
     seed: int = 7
     #: Inter-operation client think time, host cycles.
     think_cycles: int = 20
@@ -94,7 +98,8 @@ class YcsbWorkload(Workload):
             return self._operations
         p = self.spec
         rng = random.Random(p.seed)
-        zipf = ZipfianGenerator(p.num_records, seed=p.seed + 1)
+        zipf = ZipfianGenerator(p.num_records, theta=p.zipf_theta,
+                                seed=p.seed + 1)
         ops: List[Tuple] = []
         record_count = p.num_records
         for _ in range(p.num_ops):

@@ -58,10 +58,19 @@ class _CountingBackend(SerialBackend):
 
     def __init__(self) -> None:
         self.executed: List[str] = []
+        self.batches: List[List[str]] = []
 
     def run_all(self, experiments: Sequence[Experiment]):
-        self.executed.extend(e.spec_hash() for e in experiments)
+        hashes = [e.spec_hash() for e in experiments]
+        self.executed.extend(hashes)
+        self.batches.append(hashes)
         return super().run_all(experiments)
+
+    def run_all_settled(self, experiments: Sequence[Experiment]):
+        hashes = [e.spec_hash() for e in experiments]
+        self.executed.extend(hashes)
+        self.batches.append(hashes)
+        return super().run_all_settled(experiments)
 
 
 def test_cache_serves_repeated_specs_without_resimulating():
@@ -98,6 +107,43 @@ def test_uncached_runner_still_dedupes_batches():
     assert runner.cache_size == 0
     # ...but separate calls re-execute
     runner.run(exp)
+    assert len(backend.executed) == 2
+
+
+def test_mixed_cached_batch_dispatches_only_the_misses():
+    """A batch mixing cache hits and misses must make exactly one
+    backend dispatch carrying only the misses, in input order -- that is
+    what keeps a resumed campaign sharded instead of degrading to
+    point-at-a-time execution."""
+    backend = _CountingBackend()
+    runner = Runner(backend=backend)
+    atomic = _experiment(ConsistencyModel.ATOMIC)
+    cached = runner.run(atomic)
+    backend.batches.clear()
+
+    naive = _experiment(ConsistencyModel.NAIVE)
+    scope = _experiment(ConsistencyModel.SCOPE)
+    results = runner.run_all([atomic, naive, atomic, scope])
+    assert backend.batches == [[naive.spec_hash(), scope.spec_hash()]]
+    assert results[0] is cached and results[2] is cached
+    assert results[1].model_name == "naive"
+    assert results[3].model_name == "scope"
+
+
+def test_run_settled_shares_the_batch_path_and_cache():
+    backend = _CountingBackend()
+    runner = Runner(backend=backend)
+    atomic = _experiment(ConsistencyModel.ATOMIC)
+    cached = runner.run(atomic)
+
+    outcomes = runner.run_settled([atomic, _experiment(ConsistencyModel.ATOMIC)])
+    assert len(backend.executed) == 1  # both points served from cache
+    assert outcomes[0] == (cached, None) and outcomes[1] == (cached, None)
+    # settled successes land in the same cache run_all reads
+    naive = _experiment(ConsistencyModel.NAIVE)
+    (result, error), = runner.run_settled([naive])
+    assert error is None
+    assert runner.run(naive) is result
     assert len(backend.executed) == 2
 
 
