@@ -27,6 +27,13 @@ Whole evaluation grids are declared as :class:`Sweep`/:class:`Campaign`
 specs (:mod:`repro.api.sweep`) and executed with :func:`run_campaign`:
 spec-hash deduplication, process-pool sharding, per-point failure
 isolation, and figure-grade aggregation into ``EXPERIMENTS.md``.
+
+Results outlive the process through the persistent
+:class:`ResultStore` (:mod:`repro.api.store`): an on-disk,
+content-addressed cache keyed by spec hash plus a code/format
+fingerprint, shared by concurrent shards and sessions --
+``Runner(store=...)`` consults it before dispatching and writes every
+fresh success back.
 """
 
 from repro.api.backends import (
@@ -48,8 +55,15 @@ from repro.api.registry import (
     WorkloadRegistry,
     register_workload,
 )
-from repro.api.results import SimulationResult, StatsView, headline
+from repro.api.results import (
+    RESULT_SCHEMA,
+    SimulationResult,
+    StatsView,
+    headline,
+    result_digest,
+)
 from repro.api.runner import Runner
+from repro.api.store import ResultStore, code_fingerprint
 from repro.api.sweep import (
     Axis,
     Campaign,
@@ -71,6 +85,8 @@ __all__ = [
     "Pivot",
     "ProcessPoolBackend",
     "REGISTRY",
+    "RESULT_SCHEMA",
+    "ResultStore",
     "Runner",
     "SerialBackend",
     "SimulationResult",
@@ -79,6 +95,7 @@ __all__ = [
     "UnknownWorkloadError",
     "WorkloadRegistry",
     "backend_for",
+    "code_fingerprint",
     "config_from_dict",
     "config_to_dict",
     "execute_experiment",
@@ -86,5 +103,6 @@ __all__ = [
     "get_campaign",
     "headline",
     "register_workload",
+    "result_digest",
     "run_campaign",
 ]

@@ -18,6 +18,7 @@ crosses the process boundary.
 from __future__ import annotations
 
 import abc
+import functools
 import multiprocessing
 import os
 import traceback
@@ -64,6 +65,33 @@ def execute_experiment_settled(experiment: Experiment) -> Settled:
         return ExperimentFailure(traceback.format_exc())
 
 
+def execute_experiment_settled_store(store, experiment: Experiment) -> Settled:
+    """Settled execution with write-through to a persistent store.
+
+    The *executing worker* persists its own success, so a campaign
+    killed mid-batch keeps every point that finished -- the next run
+    resumes from the store instead of starting over.  Store I/O failure
+    never fails the point: the result still returns and the Runner-side
+    caches serve it for this session.  The store pickles as plain data
+    (a root path and a fingerprint string), so the same function drives
+    the serial path and the process pool.
+    """
+    outcome = execute_experiment_settled(experiment)
+    if not isinstance(outcome, ExperimentFailure):
+        try:
+            store.put(experiment.spec_hash(), outcome, experiment)
+        except OSError:
+            pass
+    return outcome
+
+
+def _settled_fn(store):
+    """The per-point settled executor, write-through when a store rides."""
+    if store is None:
+        return execute_experiment_settled
+    return functools.partial(execute_experiment_settled_store, store)
+
+
 class ExecutionBackend(abc.ABC):
     """How a Runner turns experiment specs into results."""
 
@@ -73,9 +101,16 @@ class ExecutionBackend(abc.ABC):
     def run_all(self, experiments: Sequence[Experiment]) -> List[SimulationResult]:
         """Execute every experiment; results align with the input order."""
 
-    def run_all_settled(self, experiments: Sequence[Experiment]) -> List[Settled]:
-        """Like :meth:`run_all`, but failures isolate to their point."""
-        return [execute_experiment_settled(e) for e in experiments]
+    def run_all_settled(self, experiments: Sequence[Experiment],
+                        store=None) -> List[Settled]:
+        """Like :meth:`run_all`, but failures isolate to their point.
+
+        ``store`` (a :class:`~repro.api.store.ResultStore`) turns on
+        per-point write-through: each success is persisted by the worker
+        that computed it, as it finishes.
+        """
+        fn = _settled_fn(store)
+        return [fn(e) for e in experiments]
 
     def run(self, experiment: Experiment) -> SimulationResult:
         return self.run_all([experiment])[0]
@@ -117,8 +152,9 @@ class ProcessPoolBackend(ExecutionBackend):
     def run_all(self, experiments: Sequence[Experiment]) -> List[SimulationResult]:
         return self._map(execute_experiment, experiments)
 
-    def run_all_settled(self, experiments: Sequence[Experiment]) -> List[Settled]:
-        return self._map(execute_experiment_settled, experiments)
+    def run_all_settled(self, experiments: Sequence[Experiment],
+                        store=None) -> List[Settled]:
+        return self._map(_settled_fn(store), experiments)
 
     def _map(self, fn, experiments: Sequence[Experiment]) -> List:
         experiments = list(experiments)

@@ -1,6 +1,6 @@
 """``repro-bench``: run experiment sweeps from the command line.
 
-Four subcommands::
+Five subcommands::
 
     repro-bench list
         Show the registered workloads and their parameters.
@@ -8,14 +8,25 @@ Four subcommands::
     repro-bench sweep list
     repro-bench sweep list-points CAMPAIGN
     repro-bench sweep run CAMPAIGN [--jobs N|auto] [--output FILE]
-                          [--report FILE] [--resume FILE]
+                          [--report FILE] [--resume FILE] [--store DIR]
         Declarative campaigns: expand a registered campaign (or a JSON
         campaign file) into its experiment grid and execute it with
         per-point failure isolation.  ``--output`` writes the campaign
         JSON artifact (results + digest), ``--report`` renders the
         figure-grade Markdown report (EXPERIMENTS.md), ``--resume``
         pre-seeds the run from an earlier artifact so only missing or
-        previously failed points simulate.
+        previously failed points simulate.  ``--store DIR`` (default:
+        ``$REPRO_STORE``) attaches the persistent result store: points
+        already on disk hydrate without simulating, fresh points persist
+        as they finish -- any campaign resumes across sessions without
+        an artifact file.
+
+    repro-bench store stats|verify [--store DIR]
+    repro-bench store prune [--store DIR] [--max-age-days N] [--stale]
+    repro-bench store export CAMPAIGN --output FILE [--store DIR]
+        Inspect the persistent store, garbage-collect it by age or by
+        code fingerprint, or export a campaign's stored points as a
+        ``--resume``-compatible JSON artifact.
 
     repro-bench run WORKLOAD [--models atomic,scope,...] [--num-scopes 4,8]
                     [--param key=value ...] [--preset scaled|paper]
@@ -43,6 +54,8 @@ Examples::
     repro-bench perf --quick --check BENCH_kernel.json
     repro-bench sweep run smoke --jobs 2 --output smoke.json
     repro-bench sweep run paper-grid --jobs auto --report EXPERIMENTS.md
+    repro-bench sweep run paper-grid --store ~/.cache/repro-store
+    repro-bench store stats --store ~/.cache/repro-store
 
 For YCSB, ``num_records`` defaults to ``2000 * num_scopes`` (the
 benchmark harness's scaled sweep density) unless given via ``--param``.
@@ -137,6 +150,38 @@ def _build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--resume", default=None, metavar="FILE",
                       help="pre-seed from an earlier --output artifact; "
                            "only missing/failed points simulate")
+    srun.add_argument("--store", default=None, metavar="DIR",
+                      help="persistent result store directory (default: "
+                           "$REPRO_STORE); stored points hydrate without "
+                           "simulating, fresh points persist as they "
+                           "finish")
+
+    store = sub.add_parser("store",
+                           help="inspect and maintain the persistent "
+                                "result store")
+    stsub = store.add_subparsers(dest="store_command", required=True)
+    for name, doc in (("stats", "entry counts, size, fingerprints"),
+                      ("verify", "check every entry's integrity"),
+                      ("prune", "garbage-collect entries"),
+                      ("export", "write a campaign's stored points as a "
+                                 "--resume artifact")):
+        sp = stsub.add_parser(name, help=doc)
+        sp.add_argument("--store", default=None, metavar="DIR",
+                        help="store directory (default: $REPRO_STORE)")
+        if name == "prune":
+            sp.add_argument("--max-age-days", type=float, default=None,
+                            metavar="N",
+                            help="remove entries older than N days")
+            sp.add_argument("--stale", action="store_true",
+                            help="remove entries written by other code "
+                                 "fingerprints (results the current "
+                                 "simulator can never serve)")
+        if name == "export":
+            sp.add_argument("campaign",
+                            help="registered campaign name or JSON "
+                                 "campaign file")
+            sp.add_argument("--output", required=True, metavar="FILE",
+                            help="artifact file to write")
 
     run = sub.add_parser("run", help="run a workload sweep")
     run.add_argument("workload", help="registered workload name")
@@ -241,6 +286,23 @@ def _cmd_sweep_list_points(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_from_args(args: argparse.Namespace):
+    """The ResultStore selected by --store or $REPRO_STORE, or None."""
+    from repro.api.store import ResultStore
+
+    if getattr(args, "store", None):
+        return ResultStore(args.store)
+    return ResultStore.from_env()
+
+
+def _require_store(args: argparse.Namespace):
+    store = _store_from_args(args)
+    if store is None:
+        raise SystemExit(
+            "no store selected: pass --store DIR or set $REPRO_STORE")
+    return store
+
+
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     import json
 
@@ -264,15 +326,21 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     hashes = {p.experiment.spec_hash() for p in points}
     cached = len(hashes & set(resume)) if resume else 0
     backend = backend_for(jobs)
+    store = _store_from_args(args)
     print(f"campaign {campaign.name}: {len(points)} points "
           f"({len(hashes)} unique, {cached} from cache) "
-          f"on the {backend.name} backend")
+          f"on the {backend.name} backend"
+          + (f", store {store.root}" if store is not None else ""))
 
-    result = run_campaign(campaign, runner=Runner(backend=backend),
-                          resume=resume)
+    runner = Runner(backend=backend, store=store)
+    result = run_campaign(campaign, runner=runner, resume=resume)
     headers, rows = result.table()
     print(format_table(headers, rows, title=f"{campaign.name} campaign"))
     print(f"digest: {result.digest()}")
+    if store is not None:
+        print(f"store: {runner.store_hits} points hydrated from "
+              f"{store.root}")
+    print(f"backend dispatches: {runner.dispatch_count}")
 
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -297,6 +365,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.sweep_command == "list-points":
         return _cmd_sweep_list_points(args)
     return _cmd_sweep_run(args)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    stats = _require_store(args).stats()
+    print(f"store {stats['root']}")
+    print(f"  code fingerprint : {stats['fingerprint']}")
+    print(f"  entries          : {stats['entries']} "
+          f"({stats['current_entries']} current, "
+          f"{stats['stale_entries']} stale)")
+    print(f"  size             : {stats['size_bytes']:,} bytes")
+    for fingerprint, count in stats["by_fingerprint"].items():
+        marker = "  (current)" if fingerprint == stats["fingerprint"] else ""
+        print(f"  {fingerprint} : {count} entries{marker}")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    store = _require_store(args)
+    problems = store.verify()
+    total = sum(1 for _ in store.paths())
+    if not problems:
+        print(f"ok: {total} entries verified in {store.root}")
+        return 0
+    for path, problem in problems:
+        print(f"BAD {path}: {problem}")
+    print(f"{len(problems)} of {total} entries failed verification")
+    return 1
+
+
+def _cmd_store_prune(args: argparse.Namespace) -> int:
+    if args.max_age_days is None and not args.stale:
+        raise SystemExit(
+            "nothing to prune: pass --max-age-days N and/or --stale")
+    store = _require_store(args)
+    removed = store.prune(max_age_days=args.max_age_days, stale=args.stale)
+    print(f"pruned {removed} entries from {store.root}")
+    return 0
+
+
+def _cmd_store_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api.sweep import CampaignResult, PointResult
+
+    store = _require_store(args)
+    campaign = _load_campaign(args.campaign)
+    points = campaign.points()
+    hydrated = store.get_many({p.experiment.spec_hash() for p in points})
+    result = CampaignResult(campaign, [
+        PointResult(
+            name=p.name, sweep=p.sweep, coords=p.coords,
+            experiment=p.experiment,
+            result=hydrated.get(p.experiment.spec_hash()),
+            error=(None if p.experiment.spec_hash() in hydrated
+                   else "not in store"),
+        )
+        for p in points
+    ])
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result.to_json_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"exported {len(result.ok_points)} of {len(points)} points "
+          f"to {args.output}"
+          + (f" ({len(result.failed_points)} not in store)"
+             if result.failed_points else ""))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    return {
+        "stats": _cmd_store_stats,
+        "verify": _cmd_store_verify,
+        "prune": _cmd_store_prune,
+        "export": _cmd_store_export,
+    }[args.store_command](args)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -368,6 +511,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return _cmd_run(args)
 
 

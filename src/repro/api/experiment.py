@@ -16,18 +16,17 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.models import ConsistencyModel
-from repro.sim.config import (
-    CacheConfig,
-    CoreConfig,
-    MemoryConfig,
-    NetworkConfig,
-    PimModuleConfig,
-    ScopeBufferConfig,
+# Re-exported here for compatibility: the dict round trip lives next to
+# SystemConfig itself (the system layer serializes results without
+# reaching back up into the API package).
+from repro.sim.config import (  # noqa: F401
     SystemConfig,
+    config_from_dict,
+    config_to_dict,
 )
 from repro.api.registry import REGISTRY
 
@@ -62,74 +61,6 @@ def _thaw_value(value):
             return {k: _thaw_value(v) for k, v in value[1]}
         return [_thaw_value(v) for v in value]
     return value
-
-
-_NESTED_CONFIG = {
-    "cores": CoreConfig,
-    "l1": CacheConfig,
-    "llc": CacheConfig,
-    "l1_scope_buffer": ScopeBufferConfig,
-    "llc_scope_buffer": ScopeBufferConfig,
-    "network": NetworkConfig,
-    "memory": MemoryConfig,
-    "pim": PimModuleConfig,
-}
-
-_CONFIG_PRESETS = {
-    "paper": SystemConfig.paper_default,
-    "scaled": SystemConfig.scaled_default,
-}
-
-
-def config_to_dict(config: SystemConfig) -> Dict[str, object]:
-    """A JSON-safe dict that :func:`config_from_dict` restores exactly."""
-    data = asdict(config)
-    data["model"] = config.model.value
-    return data
-
-
-def config_from_dict(data) -> SystemConfig:
-    """Build a :class:`SystemConfig` from a dict (or pass one through).
-
-    Two shapes are accepted:
-
-    * the full :func:`config_to_dict` form (every field present, nested
-      sections as complete dicts);
-    * a preset form, ``{"preset": "scaled"|"paper", ...overrides}``,
-      where nested sections may be *partial* dicts applied on top of the
-      preset (e.g. ``{"preset": "scaled", "pim": {"zero_logic": True}}``).
-    """
-    if isinstance(data, SystemConfig):
-        return data
-    data = dict(data)
-    preset = data.pop("preset", None)
-    model = data.pop("model", None)
-    if isinstance(model, str):
-        model = ConsistencyModel(model)
-
-    if preset is not None:
-        try:
-            factory = _CONFIG_PRESETS[preset]
-        except KeyError:
-            raise ValueError(
-                f"unknown config preset {preset!r}; "
-                f"expected one of {sorted(_CONFIG_PRESETS)}"
-            ) from None
-        base = factory()
-        if model is not None:
-            base = base.with_model(model)
-        for key, value in data.items():
-            if key in _NESTED_CONFIG and isinstance(value, Mapping):
-                value = replace(getattr(base, key), **value)
-            base = replace(base, **{key: value})
-        return base
-
-    for key, cls in _NESTED_CONFIG.items():
-        if key in data and isinstance(data[key], Mapping):
-            data[key] = cls(**data[key])
-    if model is not None:
-        data["model"] = model
-    return SystemConfig(**data)
 
 
 @dataclass(frozen=True)

@@ -184,6 +184,50 @@ def profile_config(name: str, top: int = 25, sort: str = "cumulative",
     stats.sort_stats(sort).print_stats(top)
 
 
+def measure_store_lookup(config: str = "litmus", lookups: int = 200,
+                         repeats: int = 5) -> dict:
+    """Measure the persistent store's hit path on one pinned config.
+
+    Simulates the config once, persists it into a throwaway
+    :class:`~repro.api.store.ResultStore`, then times ``lookups`` warm
+    ``get`` calls (full read: open, JSON parse, digest verification,
+    result rebuild), best of ``repeats`` passes.  This is the per-point
+    overhead a fully warm campaign pays instead of a simulation, tracked
+    in ``BENCH_kernel.json``'s ``store`` section so cache-path
+    regressions are visible next to kernel throughput.
+    """
+    import os
+    import tempfile
+
+    from repro.api.backends import execute_experiment
+    from repro.api.store import ResultStore
+
+    experiment = Experiment.from_dict(PERF_CONFIGS[config])
+    result = execute_experiment(experiment)
+    spec_hash = experiment.spec_hash()
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        path = store.put(spec_hash, result, experiment)
+        entry_bytes = os.path.getsize(path)
+        best = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for _ in range(lookups):
+                hit = store.get(spec_hash)
+            elapsed = time.perf_counter() - start
+            if hit is None:
+                raise AssertionError("store lookup missed its own entry")
+            if best is None or elapsed < best:
+                best = elapsed
+    return {
+        "config": config,
+        "entry_bytes": entry_bytes,
+        "lookups": lookups,
+        "lookup_us": round(best / lookups * 1e6, 1),
+        "lookups_per_sec": round(lookups / best),
+    }
+
+
 def run_suite(names: Optional[Iterable[str]] = None,
               repeats: int = 3) -> dict:
     """Measure a set of pinned configurations (all of them by default)."""
@@ -322,7 +366,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "cumulative time, then exit")
     parser.add_argument("--profile-top", type=int, default=25,
                         help="entries to print with --profile (default 25)")
+    parser.add_argument("--store-bench", action="store_true",
+                        help="measure the persistent store's hit-path "
+                             "lookup latency instead of kernel "
+                             "throughput; with --update, refreshes only "
+                             "the tracked file's 'store' section")
     args = parser.parse_args(argv)
+
+    if args.store_bench:
+        bench = measure_store_lookup(repeats=max(1, args.repeats))
+        print(f"store-hit lookup ({bench['config']} entry, "
+              f"{bench['entry_bytes']:,} bytes): "
+              f"{bench['lookup_us']} us/lookup, "
+              f"{bench['lookups_per_sec']:,} lookups/sec")
+        if args.output:
+            write_record(args.output, {"schema": SCHEMA, "store": bench})
+            print(f"wrote {args.output}")
+        if args.update:
+            try:
+                tracked = load_baseline(args.update)
+            except FileNotFoundError:
+                tracked = {"schema": SCHEMA, "configs": {}}
+            tracked["store"] = bench
+            write_record(args.update, tracked)
+            print(f"updated {args.update} (store section only)")
+        return 0
 
     if args.profile:
         if args.profile not in PERF_CONFIGS:

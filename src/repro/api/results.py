@@ -10,6 +10,12 @@ namespace over one component's statistics snapshot --
 
 :func:`headline` flattens one result into the figure-ready scalars the
 CLI and reports print.
+
+Results also carry a versioned stdlib-JSON round trip
+(:meth:`SimulationResult.to_dict` / :meth:`~SimulationResult.from_dict`,
+tagged :data:`RESULT_SCHEMA`, digestable via :func:`result_digest`) --
+the serialization campaign artifacts and the persistent
+:class:`~repro.api.store.ResultStore` share.
 """
 
 from __future__ import annotations
@@ -17,9 +23,14 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.sim.stats import StatsView
-from repro.system.simulation import SimulationResult
+from repro.system.simulation import (
+    RESULT_SCHEMA,
+    SimulationResult,
+    result_digest,
+)
 
-__all__ = ["StatsView", "SimulationResult", "headline"]
+__all__ = ["RESULT_SCHEMA", "StatsView", "SimulationResult", "headline",
+           "result_digest"]
 
 
 def headline(result: SimulationResult) -> Dict[str, object]:

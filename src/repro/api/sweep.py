@@ -45,7 +45,7 @@ from typing import (
     Tuple,
 )
 
-from repro.api.experiment import Experiment, config_from_dict, config_to_dict
+from repro.api.experiment import Experiment
 from repro.api.runner import Runner
 from repro.api.backends import backend_for
 from repro.system.simulation import SimulationResult
@@ -413,24 +413,16 @@ def _result_value(result: SimulationResult, key: str):
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
-    """A JSON round-trippable snapshot of one simulation result."""
-    return {
-        "config": config_to_dict(result.config),
-        "run_time": result.run_time,
-        "stats": result.stats,
-        "stale_reads": result.stale_reads,
-        "events": result.events,
-    }
+    """A JSON round-trippable snapshot of one simulation result.
+
+    Thin alias of :meth:`SimulationResult.to_dict` -- the versioned
+    serialization the persistent store shares.
+    """
+    return result.to_dict()
 
 
 def result_from_dict(data: Mapping[str, object]) -> SimulationResult:
-    return SimulationResult(
-        config=config_from_dict(data["config"]),
-        run_time=data["run_time"],
-        stats={name: dict(group) for name, group in data["stats"].items()},
-        stale_reads=data["stale_reads"],
-        events=data["events"],
-    )
+    return SimulationResult.from_dict(data)
 
 
 class CampaignResult:
@@ -601,6 +593,7 @@ def run_campaign(
     runner: Optional[Runner] = None,
     jobs: Optional[int] = None,
     resume: Optional[Mapping[str, SimulationResult]] = None,
+    store=None,
 ) -> CampaignResult:
     """Execute a campaign and aggregate its outcomes.
 
@@ -609,9 +602,22 @@ def run_campaign(
     process pool); ``resume`` pre-seeds the cache from an earlier run's
     artifact so only the misses dispatch; one failed point reports in
     its :class:`PointResult` while the rest of the campaign completes.
+
+    ``store`` (a :class:`~repro.api.store.ResultStore` or directory
+    path) makes the run resumable across sessions: previously computed
+    points hydrate from disk before any dispatch, fresh points persist
+    as they finish.  It generalizes the ``resume`` artifact path -- no
+    artifact file to thread through, any campaign sharing specs shares
+    the cache.  Pass it here or build the Runner yourself, not both.
     """
     if runner is None:
-        runner = Runner(backend=backend_for(jobs if jobs else 1))
+        runner = Runner(backend=backend_for(jobs if jobs else 1),
+                        store=store)
+    elif store is not None:
+        raise ValueError(
+            "pass the store to the Runner (Runner(store=...)) when "
+            "supplying a runner; run_campaign(store=...) only applies to "
+            "the runner it builds itself")
     if resume:
         runner.preload(resume)
     points = campaign.points()
@@ -759,7 +765,14 @@ def _paper_grid_campaign() -> Campaign:
             "axis.  Workload sizes are the benchmark harness's scaled "
             "configuration: capacities shrink together so set counts, "
             "lines-per-scope and the PIM buffer back-pressure keep the "
-            "paper's proportions while event counts stay tractable."
+            "paper's proportions while event counts stay tractable.  "
+            "Every point is cacheable in the persistent result store: "
+            "`repro-bench sweep run paper-grid --store DIR` resumes "
+            "this grid across sessions (a warm store makes zero "
+            "backend dispatches and reproduces this report "
+            "byte-for-byte); the `geometry-ablation` campaign extends "
+            "the same workflow to the Figs. 11-13 LLC-size and PIM-"
+            "geometry axes."
         ),
         sweeps=(ycsb, tpch, skew),
         pivots=(
@@ -794,11 +807,114 @@ def _ycsb_grid_campaign() -> Campaign:
     )
 
 
+#: Scope count the geometry ablations hold fixed (high enough that the
+#: Figs. 11-12 effects -- scan cost, SBV skipping, buffer back-pressure
+#: -- are actually visible).
+GEOMETRY_SCOPES = 32
+
+
+def _geometry_ablation_campaign() -> Campaign:
+    """LLC-size and PIM crossbar/scope-geometry ablations (Figs. 11-13).
+
+    Every sweep fixes the YCSB point at :data:`GEOMETRY_SCOPES` scopes
+    and varies one hardware dimension across the six models: the LLC
+    capacity (Fig. 12), the PIM op-buffer depth and zero-logic switch
+    (Fig. 11), the crossbar's concurrent-scope limit, and the worker
+    thread count with its derived core count (Fig. 13).
+    """
+    base = dict(
+        _ycsb_base(variant="geometry",
+                   num_records=RECORDS_PER_SCOPE * GEOMETRY_SCOPES),
+        config={"preset": "scaled", "num_scopes": GEOMETRY_SCOPES},
+    )
+    llc = Sweep(
+        name="llc-size",
+        base=base,
+        axes=(
+            Axis("model", SIX_MODELS),
+            Axis("llc_bytes", (128 << 10, 512 << 10),
+                 path="config.llc.size_bytes"),
+        ),
+    )
+    pim_buffer = Sweep(
+        name="pim-buffer",
+        base=base,
+        axes=(
+            Axis("model", SIX_MODELS),
+            Axis("buffer", (8, 16, None),
+                 path="config.pim.buffer_capacity"),
+        ),
+    )
+    pim_logic = Sweep(
+        name="pim-logic",
+        base=base,
+        axes=(
+            Axis("model", SIX_MODELS),
+            Axis("zero_logic", (False, True),
+                 path="config.pim.zero_logic"),
+        ),
+    )
+    crossbar = Sweep(
+        name="crossbar",
+        base=base,
+        axes=(
+            Axis("model", SIX_MODELS),
+            Axis("concurrency", (None, 2),
+                 path="config.pim.max_concurrent_scopes"),
+        ),
+    )
+    threads = Sweep(
+        name="threads",
+        base=base,
+        axes=(
+            Axis("model", SIX_MODELS),
+            Axis("threads", (4, 8), path="params.threads"),
+            Axis("cores", (8, 16), path="config.cores.num_cores",
+                 hidden=True),
+        ),
+        zip_groups=(("threads", "cores"),),
+    )
+    return Campaign(
+        name="geometry-ablation",
+        title="LLC size and PIM geometry ablations (Figs. 11-13 flavour)",
+        description=(
+            f"The six consistency models at a fixed {GEOMETRY_SCOPES}-"
+            "scope YCSB point, ablating one hardware dimension per "
+            "sweep: LLC capacity (Fig. 12), PIM op-buffer depth and "
+            "zero-logic execution (Fig. 11), the crossbar's concurrent-"
+            "scope limit, and the worker thread count on a doubled-core "
+            "host (Fig. 13).  This is also the persistent store's cross-"
+            "session resume demo: run it twice with `--store DIR` (or "
+            "`REPRO_STORE` set) and the second session hydrates every "
+            "point from disk -- zero backend dispatches, byte-identical "
+            "digest."
+        ),
+        sweeps=(llc, pim_buffer, pim_logic, crossbar, threads),
+        pivots=(
+            Pivot(title="YCSB run time vs LLC capacity (Fig. 12a)",
+                  sweep="llc-size", x="llc_bytes", split_by="model"),
+            Pivot(title="Mean LLC scan latency vs LLC capacity (Fig. 12b)",
+                  sweep="llc-size", x="llc_bytes", split_by="model",
+                  value="llc.scan_latency"),
+            Pivot(title="Run time vs PIM op-buffer depth (Fig. 11a)",
+                  sweep="pim-buffer", x="buffer", split_by="model"),
+            Pivot(title="Zero PIM logic, normalized to Naive (Fig. 11b)",
+                  sweep="pim-logic", x="zero_logic", split_by="model",
+                  normalize_to="naive"),
+            Pivot(title="Run time vs concurrent crossbar scopes",
+                  sweep="crossbar", x="concurrency", split_by="model"),
+            Pivot(title="Run time vs worker threads (Fig. 13)",
+                  sweep="threads", x="threads", split_by="model"),
+        ),
+    )
+
+
 #: Registered campaigns: name -> zero-argument factory.
 CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke_campaign,
     "ycsb-grid": _ycsb_grid_campaign,
     "paper-grid": _paper_grid_campaign,
+    "geometry-ablation": _geometry_ablation_campaign,
 }
 
 

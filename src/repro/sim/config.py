@@ -14,8 +14,8 @@ All latencies are in host clock cycles (3.6 GHz in Table II).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Optional
 
 from repro.core.models import ConsistencyModel
 
@@ -188,3 +188,76 @@ class SystemConfig:
             raise ValueError("pim_base must be scope-aligned")
         if self.scope_bytes % self.llc.line_bytes:
             raise ValueError("scope size must be line-aligned")
+
+
+# --------------------------------------------------------------------- #
+# dict round trip (shared by experiment specs, campaign artifacts and
+# the persistent result store)
+# --------------------------------------------------------------------- #
+
+_NESTED_CONFIG = {
+    "cores": CoreConfig,
+    "l1": CacheConfig,
+    "llc": CacheConfig,
+    "l1_scope_buffer": ScopeBufferConfig,
+    "llc_scope_buffer": ScopeBufferConfig,
+    "network": NetworkConfig,
+    "memory": MemoryConfig,
+    "pim": PimModuleConfig,
+}
+
+_CONFIG_PRESETS = {
+    "paper": SystemConfig.paper_default,
+    "scaled": SystemConfig.scaled_default,
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, object]:
+    """A JSON-safe dict that :func:`config_from_dict` restores exactly."""
+    data = asdict(config)
+    data["model"] = config.model.value
+    return data
+
+
+def config_from_dict(data) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a dict (or pass one through).
+
+    Two shapes are accepted:
+
+    * the full :func:`config_to_dict` form (every field present, nested
+      sections as complete dicts);
+    * a preset form, ``{"preset": "scaled"|"paper", ...overrides}``,
+      where nested sections may be *partial* dicts applied on top of the
+      preset (e.g. ``{"preset": "scaled", "pim": {"zero_logic": True}}``).
+    """
+    if isinstance(data, SystemConfig):
+        return data
+    data = dict(data)
+    preset = data.pop("preset", None)
+    model = data.pop("model", None)
+    if isinstance(model, str):
+        model = ConsistencyModel(model)
+
+    if preset is not None:
+        try:
+            factory = _CONFIG_PRESETS[preset]
+        except KeyError:
+            raise ValueError(
+                f"unknown config preset {preset!r}; "
+                f"expected one of {sorted(_CONFIG_PRESETS)}"
+            ) from None
+        base = factory()
+        if model is not None:
+            base = base.with_model(model)
+        for key, value in data.items():
+            if key in _NESTED_CONFIG and isinstance(value, Mapping):
+                value = replace(getattr(base, key), **value)
+            base = replace(base, **{key: value})
+        return base
+
+    for key, cls in _NESTED_CONFIG.items():
+        if key in data and isinstance(data[key], Mapping):
+            data[key] = cls(**data[key])
+    if model is not None:
+        data["model"] = model
+    return SystemConfig(**data)

@@ -19,12 +19,31 @@ skip ratio, PIM buffer occupancy, stale reads, ...).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
-from repro.sim.config import SystemConfig
+from repro.sim.config import SystemConfig, config_from_dict, config_to_dict
 from repro.sim.stats import StatsView
 from repro.system.builder import System
+
+#: Schema tag of the serialized :class:`SimulationResult` form.  Bump it
+#: whenever the dict shape changes incompatibly: deserialization rejects
+#: any other tagged version, which is what keeps an on-disk result store
+#: from silently serving records written by an older format.
+RESULT_SCHEMA = "repro-simulation-result/1"
+
+
+def result_digest(payload: Mapping[str, object]) -> str:
+    """Canonical SHA-256 of one serialized result payload.
+
+    The digest is computed over the sorted, separator-normalized JSON
+    encoding, so it is independent of dict ordering, whitespace and the
+    machine that produced it; the result store verifies it on every read.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -113,6 +132,47 @@ class SimulationResult:
     @property
     def pim_ops_executed(self) -> int:
         return int(self.pim.ops_executed)
+
+    # -- versioned dict round trip (stdlib JSON, no pickle) -------------- #
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe snapshot that :meth:`from_dict` restores exactly.
+
+        Covers every field a consumer reads: the full system config, the
+        run time, all stats groups (including the per-core and per-L1
+        views, which live in ``stats`` under their component names), the
+        stale-read count and the event count.
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "config": config_to_dict(self.config),
+            "run_time": self.run_time,
+            "stats": self.stats,
+            "stale_reads": self.stale_reads,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        An explicit ``schema`` tag other than :data:`RESULT_SCHEMA` is
+        rejected; a missing tag is accepted for campaign artifacts
+        written before the tag existed.
+        """
+        schema = data.get("schema")
+        if schema is not None and schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported result schema {schema!r} "
+                f"(expected {RESULT_SCHEMA!r})")
+        return cls(
+            config=config_from_dict(data["config"]),
+            run_time=data["run_time"],
+            stats={name: dict(group)
+                   for name, group in data["stats"].items()},
+            stale_reads=data["stale_reads"],
+            events=data["events"],
+        )
 
 
 def run_workload(

@@ -1,0 +1,252 @@
+"""Cross-session campaign resume through the persistent store.
+
+The acceptance property: a store-hydrated rerun of a campaign makes
+zero backend dispatches and reproduces a byte-identical campaign digest
+(and Markdown report) -- for every workload family the evaluation uses
+(all six consistency models, TPC-H, litmus), across backends and across
+processes (the CLI tests re-enter through ``main`` like separate shell
+sessions would).
+"""
+
+import json
+from typing import List, Sequence
+
+import pytest
+
+from repro.api import (
+    Axis,
+    Campaign,
+    Experiment,
+    ResultStore,
+    Runner,
+    SerialBackend,
+    Sweep,
+    get_campaign,
+    run_campaign,
+)
+from repro.analysis.report import campaign_markdown
+from repro.api.sweep import SIX_MODELS, load_results
+
+
+class CountingBackend(SerialBackend):
+    """Serial execution recording each dispatched batch (store-aware)."""
+
+    def __init__(self) -> None:
+        self.batches: List[List[str]] = []
+
+    def run_all(self, experiments: Sequence[Experiment]):
+        self.batches.append([e.spec_hash() for e in experiments])
+        return super().run_all(experiments)
+
+    def run_all_settled(self, experiments: Sequence[Experiment],
+                        store=None):
+        self.batches.append([e.spec_hash() for e in experiments])
+        return super().run_all_settled(experiments, store=store)
+
+    @property
+    def executed(self) -> List[str]:
+        return [h for batch in self.batches for h in batch]
+
+
+def _fidelity_campaign() -> Campaign:
+    """Six models x YCSB + one TPC-H query + litmus, at smoke size."""
+    ycsb = Sweep(
+        name="ycsb",
+        base={
+            "workload": "ycsb",
+            "params": {"num_records": 8000, "num_ops": 10, "threads": 4,
+                       "seed": 11},
+            "config": {"preset": "scaled", "num_scopes": 4},
+            "max_events": 50_000_000,
+        },
+        axes=(Axis("model", SIX_MODELS),),
+    )
+    tpch = Sweep(
+        name="tpch",
+        base={
+            "workload": "tpch",
+            "params": {"query": "q6", "scale": 0.015625, "runs": 1},
+            "config": {"preset": "scaled", "num_scopes": 32},
+            "max_events": 50_000_000,
+        },
+        axes=(Axis("model", ("naive", "scope")),),
+    )
+    litmus = Sweep(
+        name="litmus",
+        base={
+            "workload": "litmus",
+            "params": {"rounds": 3, "threads": 2},
+            "config": {"preset": "scaled", "num_scopes": 2},
+            "max_events": 50_000_000,
+        },
+        axes=(Axis("model", ("naive", "atomic")),),
+    )
+    return Campaign(name="fidelity", sweeps=(ycsb, tpch, litmus))
+
+
+def test_store_hydrated_rerun_is_byte_identical(tmp_path):
+    """Fresh run vs store-hydrated run: zero dispatches, identical
+    digest and report, for all six models + tpch + litmus."""
+    campaign = _fidelity_campaign()
+    store_dir = str(tmp_path / "store")
+
+    cold = run_campaign(campaign,
+                        runner=Runner(backend=SerialBackend(),
+                                      store=ResultStore(store_dir)))
+    assert not cold.failed_points
+
+    warm_backend = CountingBackend()
+    warm_runner = Runner(backend=warm_backend,
+                         store=ResultStore(store_dir))
+    warm = run_campaign(campaign, runner=warm_runner)
+
+    assert warm_backend.executed == []  # zero backend dispatches
+    assert warm_runner.dispatch_count == 0
+    assert warm.digest() == cold.digest()  # byte-identical campaign digest
+    assert campaign_markdown(warm) == campaign_markdown(cold)
+    # per-point, the hydrated results round-tripped every statistic
+    for a, b in zip(cold.points, warm.points):
+        assert a.result.stats == b.result.stats
+        assert a.result.run_time == b.result.run_time
+        assert a.result.events == b.result.events
+        assert a.result.stale_reads == b.result.stale_reads
+        assert a.result.config == b.result.config
+
+
+def test_cli_store_resume_across_sessions(tmp_path, capsys):
+    """Two `sweep run --store` invocations behave like two shell
+    sessions sharing one store: the second makes zero dispatches and
+    reproduces the digest and report byte-for-byte."""
+    from repro.api.cli import main
+
+    store_dir = str(tmp_path / "store")
+    report1 = tmp_path / "first.md"
+    report2 = tmp_path / "second.md"
+
+    assert main(["sweep", "run", "smoke", "--store", store_dir,
+                 "--report", str(report1)]) == 0
+    first = capsys.readouterr().out
+    assert "backend dispatches: 4" in first
+
+    assert main(["sweep", "run", "smoke", "--store", store_dir,
+                 "--report", str(report2)]) == 0
+    second = capsys.readouterr().out
+    assert "backend dispatches: 0" in second
+    assert "store: 4 points hydrated" in second
+    assert report1.read_text() == report2.read_text()
+
+
+def test_cli_store_env_var_default(tmp_path, capsys, monkeypatch):
+    """$REPRO_STORE selects the store when --store is absent."""
+    from repro.api.cli import main
+
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+    assert main(["sweep", "run", "smoke"]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "run", "smoke"]) == 0
+    assert "backend dispatches: 0" in capsys.readouterr().out
+
+
+def test_cli_store_stats_verify_prune_export(tmp_path, capsys):
+    """The store maintenance CLI: stats, verify, export, prune."""
+    from repro.api.cli import main
+
+    store_dir = str(tmp_path / "store")
+    assert main(["sweep", "run", "smoke", "--store", store_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["store", "stats", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries          : 4 (4 current, 0 stale)" in out
+
+    assert main(["store", "verify", "--store", store_dir]) == 0
+    assert "ok: 4 entries verified" in capsys.readouterr().out
+
+    # export writes a --resume-compatible artifact covering every point
+    artifact = tmp_path / "smoke-export.json"
+    assert main(["store", "export", "smoke", "--store", store_dir,
+                 "--output", str(artifact)]) == 0
+    assert "exported 4 of 4 points" in capsys.readouterr().out
+    hydrated = load_results(json.loads(artifact.read_text()))
+    smoke = get_campaign("smoke")
+    assert set(hydrated) == {p.experiment.spec_hash()
+                             for p in smoke.points()}
+    backend = CountingBackend()
+    resumed = run_campaign(smoke, runner=Runner(backend=backend),
+                           resume=hydrated)
+    assert backend.executed == []
+    assert not resumed.failed_points
+
+    # prune demands a selector, then removes everything under --stale=no,
+    # age=0 (every entry is "older than 0 days" after an mtime rewind)
+    with pytest.raises(SystemExit, match="nothing to prune"):
+        main(["store", "prune", "--store", store_dir])
+    import os
+    for entry in ResultStore(store_dir).entries():
+        old = entry.mtime - 2 * 86400
+        os.utime(entry.path, (old, old))
+    assert main(["store", "prune", "--store", store_dir,
+                 "--max-age-days", "1"]) == 0
+    assert "pruned 4 entries" in capsys.readouterr().out
+    assert main(["store", "stats", "--store", store_dir]) == 0
+    assert "entries          : 0" in capsys.readouterr().out
+
+
+def test_cli_store_requires_a_directory(monkeypatch):
+    from repro.api.cli import main
+
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    with pytest.raises(SystemExit, match="no store selected"):
+        main(["store", "stats"])
+
+
+def test_kernel_change_invalidates_the_store(tmp_path):
+    """A different code fingerprint must never be served: the warm run
+    under a 'new kernel' re-simulates everything."""
+    campaign = _fidelity_campaign()
+    store_dir = str(tmp_path / "store")
+    old_store = ResultStore(store_dir, fingerprint="old-kernel")
+    cold = run_campaign(campaign, runner=Runner(backend=SerialBackend(),
+                                                store=old_store))
+
+    backend = CountingBackend()
+    runner = Runner(backend=backend,
+                    store=ResultStore(store_dir, fingerprint="new-kernel"))
+    warm = run_campaign(campaign, runner=runner)
+    assert len(backend.executed) == len(campaign.points())
+    assert warm.digest() == cold.digest()  # deterministic either way
+
+
+def test_geometry_ablation_campaign_registration():
+    """The Figs. 11-13 geometry campaign expands, serializes, and spans
+    the documented axes without executing anything."""
+    campaign = get_campaign("geometry-ablation")
+    points = campaign.points()
+    assert len(points) == 66
+    by_sweep = {}
+    for p in points:
+        by_sweep.setdefault(p.sweep, []).append(p)
+    assert set(by_sweep) == {"llc-size", "pim-buffer", "pim-logic",
+                             "crossbar", "threads"}
+    # every sweep covers all six models
+    for name, pts in by_sweep.items():
+        assert len({p.coords["model"] for p in pts}) == 6, name
+    # the ablation axes actually land in the config
+    llc = {p.experiment.config.llc.size_bytes
+           for p in by_sweep["llc-size"]}
+    assert llc == {128 << 10, 512 << 10}
+    buffers = {p.experiment.config.pim.buffer_capacity
+               for p in by_sweep["pim-buffer"]}
+    assert buffers == {8, 16, None}
+    assert {p.experiment.config.pim.zero_logic
+            for p in by_sweep["pim-logic"]} == {False, True}
+    assert {p.experiment.config.pim.max_concurrent_scopes
+            for p in by_sweep["crossbar"]} == {None, 2}
+    threads = {(p.experiment.params_dict["threads"],
+                p.experiment.config.cores.num_cores)
+               for p in by_sweep["threads"]}
+    assert threads == {(4, 8), (8, 16)}
+    # the campaign is plain data: JSON round trip preserves every point
+    clone = Campaign.from_dict(json.loads(json.dumps(campaign.to_dict())))
+    assert [p.experiment for p in clone.points()] == \
+        [p.experiment for p in points]
