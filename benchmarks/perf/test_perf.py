@@ -42,6 +42,13 @@ def scaled_record():
 
 
 @pytest.fixture(scope="module")
+def mshr_record():
+    """ycsb-c with the MSHR knobs explicitly on: same simulation as the
+    pinned ycsb-c, plus MshrFile bookkeeping and mshr_* stats."""
+    return perf.run_suite(("ycsb-c-mshr8",), repeats=2)
+
+
+@pytest.fixture(scope="module")
 def bench_file():
     with open(BENCH_PATH) as fh:
         return json.load(fh)
@@ -98,6 +105,35 @@ def test_recorded_speedup_meets_target(bench_file):
     assert bench_file["configs"]["ycsb-c"]["speedup_vs_baseline"] >= 2.4
     for name in SCALED_CONFIGS:
         assert bench_file["configs"][name]["speedup_vs_baseline"] >= 2.0, name
+
+
+def test_mshr_config_matches_checked_in_digest(mshr_record, bench_file):
+    """The explicit-MSHR twin is digest-pinned like every other config;
+    its *simulated* behavior must equal the silent-default ycsb-c (same
+    run time and event count -- the 8/64 entries and coalescing knobs
+    reproduce the legacy hierarchy), with only the mshr_* stats added."""
+    cur = mshr_record["configs"]["ycsb-c-mshr8"]
+    base = bench_file["configs"]["ycsb-c-mshr8"]
+    assert cur["stats_sha256"] == base["stats_sha256"], (
+        "ycsb-c-mshr8: simulation results diverged from BENCH_kernel.json"
+    )
+    twin = bench_file["configs"]["ycsb-c"]
+    assert cur["events"] == twin["events"]
+    assert cur["run_time"] == twin["run_time"]
+    assert cur["stats_sha256"] != twin["stats_sha256"]  # mshr_* stats only
+
+
+def test_mshr_bookkeeping_overhead_is_bounded(quick_record, mshr_record):
+    """Hit-path overhead gate: with the MSHR stats on, ycsb-c must keep
+    at least 80% of the silent-default throughput.  Both sides are
+    measured in this very session (best of the same repeat count), so
+    the ratio is machine-independent unlike the absolute ev/s gates."""
+    silent = quick_record["configs"]["ycsb-c"]["events_per_sec"]
+    explicit = mshr_record["configs"]["ycsb-c-mshr8"]["events_per_sec"]
+    assert explicit >= 0.8 * silent, (
+        f"MSHR bookkeeping costs more than 20% of the hit path: "
+        f"{explicit:,} ev/s vs {silent:,} ev/s silent-default"
+    )
 
 
 @pytest.mark.skipif(os.environ.get("REPRO_PERF_STRICT") != "1",

@@ -147,6 +147,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(results + digest)")
     srun.add_argument("--report", default=None, metavar="FILE",
                       help="write the Markdown report (EXPERIMENTS.md)")
+    srun.add_argument("--append", action="store_true",
+                      help="append to --report instead of overwriting "
+                           "(stacks several campaigns into one file)")
     srun.add_argument("--resume", default=None, metavar="FILE",
                       help="pre-seed from an earlier --output artifact; "
                            "only missing/failed points simulate")
@@ -176,6 +179,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="remove entries written by other code "
                                  "fingerprints (results the current "
                                  "simulator can never serve)")
+            sp.add_argument("--dry-run", action="store_true",
+                            help="list what would be pruned without "
+                                 "removing anything")
         if name == "export":
             sp.add_argument("campaign",
                             help="registered campaign name or JSON "
@@ -349,9 +355,11 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote artifact {args.output}")
     if args.report is not None:
-        with open(args.report, "w", encoding="utf-8") as handle:
+        mode = "a" if args.append else "w"
+        with open(args.report, mode, encoding="utf-8") as handle:
             handle.write(campaign_markdown(result))
-        print(f"wrote report {args.report}")
+        verb = "appended" if args.append else "wrote"
+        print(f"{verb} report {args.report}")
 
     for point in result.failed_points:
         last = (point.error or "").strip().splitlines()
@@ -399,6 +407,13 @@ def _cmd_store_prune(args: argparse.Namespace) -> int:
         raise SystemExit(
             "nothing to prune: pass --max-age-days N and/or --stale")
     store = _require_store(args)
+    if args.dry_run:
+        candidates = store.prune_candidates(
+            max_age_days=args.max_age_days, stale=args.stale)
+        for entry in candidates:
+            print(f"would prune {entry.path}")
+        print(f"would prune {len(candidates)} entries from {store.root}")
+        return 0
     removed = store.prune(max_age_days=args.max_age_days, stale=args.stale)
     print(f"pruned {removed} entries from {store.root}")
     return 0

@@ -84,6 +84,18 @@ PERF_CONFIGS: Dict[str, dict] = {
         "config": {"preset": "scaled", "model": "scope", "num_scopes": 64},
         "variant": "perf",
     },
+    # ycsb-c with the MSHR knobs explicitly on (same size/seed as the
+    # pinned ycsb-c): gates the hit-path overhead of the MshrFile
+    # bookkeeping + mshr_* stats against the silent-default twin.
+    "ycsb-c-mshr8": {
+        "workload": "ycsb",
+        "params": {"num_ops": 60, "num_records": 8000, "scan_fraction": 1.0,
+                   "seed": 7},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 4,
+                   "l1": {"mshr_entries": 8},
+                   "llc": {"mshr_entries": 64}},
+        "variant": "perf",
+    },
 }
 
 #: Configurations the ``--quick`` smoke run measures.

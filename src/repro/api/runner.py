@@ -162,10 +162,15 @@ class Runner:
         make campaign resume re-simulate everything it was handed.
         """
         if self._cache is None:
+            if self.store is not None:
+                where = (f"store at {self.store.root!r} (fingerprint "
+                         f"{self.store.fingerprint}) still serves misses, but")
+            else:
+                where = "no store is attached, so"
             raise RuntimeError(
                 "Runner.preload() needs the memory cache: this Runner was "
-                "built with cache=False, so the preloaded results would be "
-                "dropped and every point would silently re-simulate")
+                f"built with cache=False, so {where} the preloaded results "
+                "would be dropped and every point would silently re-simulate")
         self._cache.update(results)
         return len(results)
 

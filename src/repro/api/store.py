@@ -358,30 +358,39 @@ class ResultStore:
                 problems.append((path, "entry at wrong address"))
         return problems
 
+    def prune_candidates(self, max_age_days: Optional[float] = None,
+                         stale: bool = False,
+                         now: Optional[float] = None) -> List[StoreEntry]:
+        """The entries :meth:`prune` would remove, without removing them.
+
+        ``max_age_days`` selects entries whose file mtime is older;
+        ``stale`` selects every entry whose fingerprint is not this
+        store's (results no older kernel can ever serve again).  With
+        neither selector set, nothing is selected.
+        """
+        if max_age_days is None and not stale:
+            return []
+        now = time.time() if now is None else now
+        candidates: List[StoreEntry] = []
+        for entry in self.entries():
+            if stale and entry.fingerprint != self.fingerprint:
+                candidates.append(entry)
+            elif max_age_days is not None \
+                    and now - entry.mtime > max_age_days * 86400.0:
+                candidates.append(entry)
+        return candidates
+
     def prune(self, max_age_days: Optional[float] = None,
               stale: bool = False, now: Optional[float] = None) -> int:
         """Garbage-collect entries; returns how many files were removed.
 
-        ``max_age_days`` removes entries whose file mtime is older;
-        ``stale`` removes every entry whose fingerprint is not this
-        store's (results no older kernel can ever serve again).  With
-        neither selector set, nothing is removed.
+        Selector semantics are :meth:`prune_candidates`'s.
         """
-        if max_age_days is None and not stale:
-            return 0
-        now = time.time() if now is None else now
         removed = 0
-        for entry in self.entries():
-            drop = False
-            if stale and entry.fingerprint != self.fingerprint:
-                drop = True
-            if max_age_days is not None \
-                    and now - entry.mtime > max_age_days * 86400.0:
-                drop = True
-            if drop:
-                try:
-                    os.unlink(entry.path)
-                    removed += 1
-                except OSError:
-                    pass
+        for entry in self.prune_candidates(max_age_days, stale, now):
+            try:
+                os.unlink(entry.path)
+                removed += 1
+            except OSError:
+                pass
         return removed

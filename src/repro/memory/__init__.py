@@ -8,6 +8,9 @@ Structural pipeline (Fig. 5 of the paper)::
 
 * :mod:`repro.memory.cache` -- set-associative arrays with MESI line states.
 * :mod:`repro.memory.mesi` -- MESI state machine helpers.
+* :mod:`repro.memory.mshr` -- miss-status holding registers: the shared
+  MSHR file (coalescing, hit-under-miss tracking) behind both caches'
+  non-blocking miss handling.
 * :mod:`repro.memory.l1` -- private first-level caches.
 * :mod:`repro.memory.llc` -- the shared, inclusive LLC with directory,
   scope buffer, SBV, and the PIM-op scan/flush engine (Section IV).
@@ -21,6 +24,7 @@ Structural pipeline (Fig. 5 of the paper)::
 
 from repro.memory.cache import CacheArray, CacheLine
 from repro.memory.mesi import MesiState
+from repro.memory.mshr import MshrEntry, MshrFile
 from repro.memory.scope_buffer import ScopeBuffer
 from repro.memory.sbv import ScopeBitVector
 from repro.memory.versioned import VersionedMemory
@@ -29,6 +33,8 @@ __all__ = [
     "CacheArray",
     "CacheLine",
     "MesiState",
+    "MshrEntry",
+    "MshrFile",
     "ScopeBuffer",
     "ScopeBitVector",
     "VersionedMemory",

@@ -15,11 +15,12 @@ PIM ops bypass the L1 entirely.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.core.scope import ScopeMap
 from repro.memory.cache import CacheArray
 from repro.memory.mesi import MesiState, state_on_fill
+from repro.memory.mshr import MshrFile
 from repro.memory.scope_buffer import ScopeBuffer
 from repro.memory.sbv import ScopeBitVector
 from repro.sim.component import Component, QueuedComponent
@@ -35,16 +36,6 @@ _LOAD = MessageType.LOAD
 _STORE = MessageType.STORE
 _LOAD_RESP = MessageType.LOAD_RESP
 _STORE_ACK = MessageType.STORE_ACK
-
-
-class _Mshr:
-    """A miss-status holding register: one outstanding line fill."""
-
-    __slots__ = ("exclusive", "waiters")
-
-    def __init__(self, exclusive: bool) -> None:
-        self.exclusive = exclusive
-        self.waiters: List[Message] = []
 
 
 class L1Cache(QueuedComponent):
@@ -67,6 +58,8 @@ class L1Cache(QueuedComponent):
         scope_buffer_cfg: Optional[ScopeBufferConfig] = None,
         mshr_count: int = 8,
         queue_capacity: int = 8,
+        coalescing: bool = True,
+        emit_mshr_stats: bool = False,
     ) -> None:
         super().__init__(sim, name, capacity=queue_capacity, service_interval=1)
         self.core_id = core_id
@@ -75,8 +68,14 @@ class L1Cache(QueuedComponent):
         self.req_net = req_net
         self.array = CacheArray(config.num_sets, config.ways, config.line_bytes)
         self.mshr_count = mshr_count
-        self._mshrs: Dict[int, _Mshr] = {}
+        self.mshr_file = MshrFile(mshr_count, coalescing)
+        #: Hot-path alias of the MSHR file's entry map.
+        self._mshrs = self.mshr_file.entries
         self.stats = StatGroup(name)
+        if emit_mshr_stats:
+            # Opt-in: the extra snapshot keys re-baseline result digests,
+            # so only non-default MSHR configurations export them.
+            self.mshr_file.attach_stats(self.stats)
         # Hit/miss counters are batched as plain ints (one attribute bump
         # per access) and synced into the StatGroup at snapshot time.
         self._hits = 0
@@ -123,6 +122,8 @@ class L1Cache(QueuedComponent):
             if line is None:
                 return self._miss(msg, False)
             self._hits += 1
+            if self._mshrs:
+                self.mshr_file.hit_under_miss += 1
             resp = msg.make_response(_LOAD_RESP, line.version)
             if self._hit_on_wheel:
                 sim = self.sim
@@ -138,6 +139,8 @@ class L1Cache(QueuedComponent):
             line = self.array.lookup(msg.addr)
             if line is not None and line.state >= _EXCLUSIVE:
                 self._hits += 1
+                if self._mshrs:
+                    self.mshr_file.hit_under_miss += 1
                 line.state = MesiState.MODIFIED
                 line.version += 1
                 resp = msg.make_response(_STORE_ACK, line.version)
@@ -168,22 +171,23 @@ class L1Cache(QueuedComponent):
     def _miss(self, msg: Message, exclusive: bool) -> Union[bool, int]:
         self._misses += 1
         line_addr = self.array.line_addr(msg.addr)
+        mshr_file = self.mshr_file
         mshr = self._mshrs.get(line_addr)
         if mshr is not None:
-            # Secondary miss: piggyback. An exclusive need on a shared
-            # fetch re-requests at fill time.
-            mshr.waiters.append(msg)
-            if exclusive:
-                mshr.exclusive = True
-            return True
-        if len(self._mshrs) >= self.mshr_count:
+            # Secondary miss: piggyback on the in-flight fill (an
+            # exclusive need on a shared fetch re-requests at fill
+            # time).  With coalescing disabled the line is "busy":
+            # back-pressure until the refill lands.
+            if mshr_file.coalesce(mshr, msg, exclusive):
+                return True
+            return 4
+        if mshr_file.full:
             return 4  # all MSHRs busy; retry shortly
         fill_req = Message(MessageType.LOAD, line_addr, msg.scope,
                            self.core_id, self, exclusive)
         if not self._req_offer(fill_req, self):
             return False
-        mshr = self._mshrs[line_addr] = _Mshr(exclusive)
-        mshr.waiters.append(msg)
+        mshr_file.allocate(line_addr, exclusive).waiters.append(msg)
         return True
 
     def _handle_flush(self, msg: Message) -> Union[bool, int]:
@@ -281,7 +285,7 @@ class L1Cache(QueuedComponent):
     def receive_response(self, resp: Message) -> None:
         """A fill from the LLC: install the line and release waiters."""
         line_addr = resp.addr
-        mshr = self._mshrs.pop(line_addr, None)
+        mshr = self.mshr_file.complete(line_addr)
         if mshr is None:
             # Fill for a line whose waiters were already satisfied.
             resp.release()
@@ -307,9 +311,7 @@ class L1Cache(QueuedComponent):
         if retry:
             # Upgrade: re-fetch the line with ownership for the stranded
             # store waiters (a shared fill raced a piggybacked store).
-            new_mshr = _Mshr(True)
-            new_mshr.waiters = retry
-            self._mshrs[line_addr] = new_mshr
+            self.mshr_file.allocate(line_addr, True).waiters = retry
             fill_req = Message(
                 MessageType.LOAD,
                 addr=line_addr,

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from repro.core.scope import ScopeMap
 from repro.memory.cache import CacheArray, CacheLine
 from repro.memory.mesi import MesiState
+from repro.memory.mshr import MshrFile
 from repro.memory.scope_buffer import ScopeBuffer
 from repro.memory.sbv import ScopeBitVector
 from repro.sim.component import Component, QueuedComponent
@@ -33,14 +34,6 @@ from repro.sim.stats import StatGroup
 
 _LOAD = MessageType.LOAD
 _LOAD_RESP = MessageType.LOAD_RESP
-
-
-class _LlcMshr:
-    __slots__ = ("waiters", "requested_exclusive")
-
-    def __init__(self, exclusive: bool) -> None:
-        self.waiters: List[Message] = []
-        self.requested_exclusive = exclusive
 
 
 class LastLevelCache(QueuedComponent):
@@ -59,6 +52,8 @@ class LastLevelCache(QueuedComponent):
         queue_capacity: int = 16,
         scope_buffer_enabled: bool = True,
         sbv_enabled: bool = True,
+        coalescing: bool = True,
+        emit_mshr_stats: bool = False,
     ) -> None:
         super().__init__(sim, name, capacity=queue_capacity, service_interval=1)
         self.config = config
@@ -92,7 +87,13 @@ class LastLevelCache(QueuedComponent):
         self.l1s: List = []
         self._dir: Dict[int, Set[int]] = {}
         self.mshr_count = mshr_count
-        self._mshrs: Dict[int, _LlcMshr] = {}
+        self.mshr_file = MshrFile(mshr_count, coalescing)
+        #: Hot-path alias of the MSHR file's entry map.
+        self._mshrs = self.mshr_file.entries
+        if emit_mshr_stats:
+            # Opt-in: the extra snapshot keys re-baseline result digests,
+            # so only non-default MSHR configurations export them.
+            self.mshr_file.attach_stats(self.stats)
         self._pending_wbs: deque = deque()
         self._head_scanned = False
 
@@ -115,6 +116,8 @@ class LastLevelCache(QueuedComponent):
             if line is None:
                 return self._fetch_miss(msg)
             self._hits += 1
+            if self._mshrs:
+                self.mshr_file.hit_under_miss += 1
             sharers = self._dir.setdefault(line.addr, set())
             if msg.exclusive:
                 self._invalidate_sharers(line, except_core=msg.core)
@@ -163,25 +166,28 @@ class LastLevelCache(QueuedComponent):
     def _fetch_miss(self, msg: Message) -> Union[bool, int]:
         self._misses += 1
         line_addr = self.array.line_addr(msg.addr)
+        mshr_file = self.mshr_file
         mshr = self._mshrs.get(line_addr)
         if mshr is not None:
-            mshr.waiters.append(msg)
-            return True
-        if len(self._mshrs) >= self.mshr_count:
+            # Secondary miss: coalesce onto the in-flight memory fetch
+            # (works even with the file full -- no new entry needed);
+            # with coalescing off the line is busy until its refill.
+            if mshr_file.coalesce(mshr, msg, msg.exclusive):
+                return True
+            return 4
+        if mshr_file.full:
             return 4
         fetch = Message(MessageType.LOAD, line_addr, msg.scope, msg.core,
                         self)
         if not self._mem_offer(fetch, self):
             return False
-        mshr = _LlcMshr(msg.exclusive)
-        mshr.waiters.append(msg)
-        self._mshrs[line_addr] = mshr
+        mshr_file.allocate(line_addr, msg.exclusive).waiters.append(msg)
         return True
 
     def receive_response(self, resp: Message) -> None:
         """A memory fill: install, then answer the waiting L1 fetches."""
         line_addr = resp.addr
-        mshr = self._mshrs.pop(line_addr, None)
+        mshr = self.mshr_file.complete(line_addr)
         if mshr is None:
             resp.release()
             return

@@ -70,6 +70,28 @@ class MemoryController(Component):
         self._dram_latency = config.dram_latency
         self._interval_on_wheel = 0 < self._dram_interval < WHEEL_SLOTS
         self._latency_on_wheel = 0 < self._dram_latency < WHEEL_SLOTS
+        # Burst batching (off at the default length of 1: the hot path
+        # below stays bit-for-bit the one-access-per-interval stage).
+        burst_len = config.dram_burst_len
+        self._burst_len = burst_len
+        self._burst_enabled = burst_len > 1
+        #: Aligned-window mask: two accesses whose line addresses share
+        #: ``addr & mask`` fuse into the same burst transaction.
+        self._burst_mask = ~(64 * burst_len - 1)
+        self._bursts = 0
+        self._burst_msgs = 0
+        if self._burst_enabled:
+            # Opt-in stats: new snapshot keys re-baseline result digests,
+            # so only burst-enabled configurations export them.
+            bursts = self.stats.counter("bursts_issued")
+            length = self.stats.mean("burst_length", extremes=False)
+
+            def _flush_burst() -> None:
+                bursts.value = self._bursts
+                length.total = self._burst_msgs
+                length.count = self._bursts
+
+            self.stats.register_flush(_flush_burst)
         # Pre-bound callables for the per-request hot path.
         self._serve_bound = self._serve
         self._service_done_bound = self._service_done
@@ -129,9 +151,11 @@ class MemoryController(Component):
                 continue
             if self._busy:
                 return
-            # DRAM service: one message per service interval.
+            # DRAM service: one message (or one fused burst) per
+            # service interval.
             queue.pop(index)
             self._served += 1
+            batch = self._collect_burst(msg) if self._burst_enabled else None
             if self._waiting_senders:
                 self._wake_senders()
             self._busy = True
@@ -145,7 +169,45 @@ class MemoryController(Component):
             else:
                 self.sim.schedule(self._dram_interval, self._service_done_bound)
             self._service_dram(msg)
+            if batch:
+                for fused in batch:
+                    self._service_dram(fused)
             return
+
+    def _collect_burst(self, first: Message) -> Optional[List[Message]]:
+        """Pull queued accesses in ``first``'s burst window (arrival order).
+
+        Contiguity rule: a DRAM access fuses with the burst when its
+        line falls in the same aligned ``dram_burst_len``-line window.
+        Taking window matches in queue order preserves the Section V-A
+        dependency rules: same-line accesses keep their relative order
+        (a pair is either fused in order or the younger one stays
+        queued), and PIM-scope traffic never fuses.
+        """
+        queue = self._queue
+        mask = self._burst_mask
+        window = first.addr & mask
+        room = self._burst_len - 1
+        batch: Optional[List[Message]] = None
+        i = 0
+        while i < len(queue) and room:
+            msg = queue[i]
+            if msg.scope is None and msg.addr & mask == window:
+                queue.pop(i)
+                if batch is None:
+                    batch = []
+                batch.append(msg)
+                room -= 1
+            else:
+                i += 1
+        self._bursts += 1
+        if batch:
+            fused = len(batch)
+            self._served += fused
+            self._burst_msgs += 1 + fused
+        else:
+            self._burst_msgs += 1
+        return batch
 
     def _service_dram(self, msg: Message) -> None:
         mtype = msg.mtype

@@ -30,10 +30,24 @@ class CacheConfig:
     hit_latency: int = 2
     #: Cycles to check one set during a scope scan (Section IV).
     scan_cycles_per_set: int = 1
+    #: Outstanding line fills (MSHR file capacity).  ``None`` keeps the
+    #: level's legacy default (8 for the L1, 64 for the LLC) *and*
+    #: suppresses the MSHR stat keys, which is what keeps default-config
+    #: result digests byte-identical; an explicit count (1 = blocking
+    #: cache) also turns the ``mshr_*`` statistics on.
+    mshr_entries: Optional[int] = None
+    #: Merge secondary misses onto the in-flight MSHR entry.  Off, a
+    #: second miss to an in-flight line back-pressures until the refill
+    #: lands (the blocking-cache ablation pairs this with
+    #: ``mshr_entries=1``).
+    coalescing: bool = True
 
     def __post_init__(self) -> None:
         if self.size_bytes % (self.line_bytes * self.ways):
             raise ValueError("cache size must be a multiple of line_bytes * ways")
+        if self.mshr_entries is not None and self.mshr_entries < 1:
+            raise ValueError("mshr_entries must be >= 1 (or None for the "
+                             "level default)")
 
     @property
     def num_lines(self) -> int:
@@ -89,6 +103,17 @@ class MemoryConfig:
     #: folded into one rate).
     dram_service_interval: int = 8
     queue_capacity: int = 32
+    #: Maximum lines fused into one DRAM burst (power of two).  1 keeps
+    #: the one-access-per-service-interval behaviour bit-for-bit; above 1
+    #: the controller sweeps its queue for accesses in the same aligned
+    #: ``dram_burst_len``-line window and services them as one burst
+    #: occupying a single service interval (and emits burst statistics).
+    dram_burst_len: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dram_burst_len < 1 or \
+                self.dram_burst_len & (self.dram_burst_len - 1):
+            raise ValueError("dram_burst_len must be a power of two >= 1")
 
 
 @dataclass(frozen=True)

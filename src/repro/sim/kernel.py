@@ -99,7 +99,10 @@ class Simulator:
         anything further -> heap.
         """
         if delay <= 0:
-            if delay < 0:
+            # Debug-only guard (compiled out under ``python -O``, like an
+            # assert): a negative delay is always a component bug, and
+            # the optimized run loop should not pay for the check.
+            if __debug__ and delay < 0:
                 raise SimulationError(f"negative delay {delay!r}")
             self._seq = seq = self._seq + 1
             self._ring.append((seq, callback, args))

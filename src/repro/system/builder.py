@@ -95,9 +95,17 @@ class System:
         self.mc.pim_module = self.pim_module
 
         mem_link = Link(self.sim, "mem-link", self.mc, latency=6, capacity=8)
+        # MSHR knobs: an explicit entry count selects the size *and*
+        # turns the mshr_* statistics on; None keeps the level's legacy
+        # default file silent, which is what keeps default-config result
+        # digests byte-identical.
+        llc_mshr = config.llc.mshr_entries
         self.llc = LastLevelCache(
             self.sim, "llc", config.llc, config.llc_scope_buffer,
             self.scope_map, mem_link, self.resp_net,
+            mshr_count=64 if llc_mshr is None else llc_mshr,
+            coalescing=config.llc.coalescing,
+            emit_mshr_stats=llc_mshr is not None or not config.llc.coalescing,
             scope_buffer_enabled=config.scope_buffer_enabled,
             sbv_enabled=config.sbv_enabled,
         )
@@ -117,11 +125,15 @@ class System:
         self._active_cores: List[Core] = []
         #: Active cores whose ``done`` has not yet fired (run loop stop).
         self._unfinished = 0
+        l1_mshr = config.l1.mshr_entries
         for core_id in range(config.cores.num_cores):
             l1 = L1Cache(
                 self.sim, f"l1.{core_id}", core_id, config.l1,
                 self.scope_map, self.req_net,
                 scope_buffer_cfg=config.l1_scope_buffer if scope_relaxed else None,
+                mshr_count=8 if l1_mshr is None else l1_mshr,
+                coalescing=config.l1.coalescing,
+                emit_mshr_stats=l1_mshr is not None or not config.l1.coalescing,
             )
             ep = EntryPoint(
                 self.sim, f"ep.{core_id}", core_id, self.policy, l1,

@@ -1,0 +1,77 @@
+"""Default-configuration result digests, pinned to the growth seed.
+
+The MSHR/burst subsystem (and anything after it) must leave the default
+configuration's simulated behavior untouched: no knobs set means the
+legacy 8-entry L1 / 64-entry LLC MSHR files with coalescing, no burst
+fusion, and no extra stats keys.  These digests were captured from the
+seed kernel; a change here means the default timing model shifted and
+every pinned baseline (BENCH_kernel.json, stored campaigns) silently
+re-baselined with it.  If a change is *intentional*, re-capture with::
+
+    PYTHONPATH=src python -m pytest tests/api/test_default_digests.py \
+        --no-header -q  # the failure message prints the new digest
+"""
+
+import pytest
+
+from repro.api.backends import execute_experiment
+from repro.api.experiment import Experiment
+from repro.system.simulation import result_digest
+
+_YCSB_DIGESTS = {
+    "naive": "0f5d29503e9411fc04aba88d75a470cdde637d4e6cb6a9ac80a6a19015ce3c53",
+    "sw-flush": "aaf7a89639e40f43d566a616a0c3d7dd2e3f268a056a43c85fea940be174fef7",
+    "atomic": "4a28c071dca0aafb6b259bdfaf714417065c92747fededaba00f806ebad45cf0",
+    "store": "d0f5651c2e54eec224bd586af122b0e5b769dec3b5effbae004214513eceabee",
+    "scope": "d0f5651c2e54eec224bd586af122b0e5b769dec3b5effbae004214513eceabee",
+    "scope-relaxed":
+        "25346a19779970a2f7beb88d2e7746e3a432cc9a25636ec88f95f393c9cd9a59",
+}
+
+_TPCH_DIGEST = \
+    "54e1baa0b9483eb117dada27f4ac4033145988be2d259f10f9ca0d59477f834f"
+_LITMUS_DIGEST = \
+    "d0b5f233d1727dfe219f50c5f9ed30ae0f744996badf40bce71eef50c8d6eb08"
+
+
+def _digest(spec):
+    res = execute_experiment(Experiment.from_dict(spec))
+    return result_digest({
+        "run_time": res.run_time,
+        "events": res.events,
+        "stale_reads": res.stale_reads,
+        "stats": res.stats,
+    })
+
+
+@pytest.mark.parametrize("model", sorted(_YCSB_DIGESTS))
+def test_ycsb_default_digest_matches_seed(model):
+    digest = _digest({
+        "workload": "ycsb",
+        "params": {"num_records": 8000, "num_ops": 10, "threads": 4,
+                   "seed": 11},
+        "config": {"preset": "scaled", "model": model, "num_scopes": 4},
+        "variant": "digest-gate",
+        "max_events": 50_000_000,
+    })
+    assert digest == _YCSB_DIGESTS[model]
+
+
+def test_tpch_default_digest_matches_seed():
+    digest = _digest({
+        "workload": "tpch",
+        "params": {"query": "q6", "scale": 0.015625},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 32},
+        "variant": "digest-gate",
+    })
+    assert digest == _TPCH_DIGEST
+
+
+def test_litmus_default_digest_matches_seed():
+    digest = _digest({
+        "workload": "litmus",
+        "params": {"rounds": 10, "threads": 4},
+        "config": {"preset": "scaled", "model": "atomic", "num_scopes": 4},
+        "variant": "digest-gate",
+    })
+    assert digest == _LITMUS_DIGEST

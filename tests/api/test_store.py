@@ -318,9 +318,32 @@ def test_pool_written_store_serves_serial_sessions(tmp_path):
         assert a.stats == b.stats and a.run_time == b.run_time
 
 
-def test_preload_raises_with_caching_disabled():
+def test_preload_raises_with_caching_disabled(tmp_path):
     """A silently dropped preload would re-simulate a whole campaign."""
     runner = Runner(cache=False)
     with pytest.raises(RuntimeError, match="cache=False"):
         runner.preload({})
     assert Runner().preload({}) == 0
+    # With a store attached the error names where misses still resolve.
+    store = ResultStore(str(tmp_path))
+    stored_runner = Runner(cache=False, store=store)
+    with pytest.raises(RuntimeError) as exc:
+        stored_runner.preload({})
+    assert store.root in str(exc.value)
+    assert store.fingerprint in str(exc.value)
+
+
+def test_prune_candidates_previews_without_removing(tmp_path, litmus_result):
+    store = ResultStore(str(tmp_path))
+    old = ResultStore(str(tmp_path), fingerprint="old-kernel")
+    current_exp, old_exp = _experiment(), _experiment(variant="old")
+    store.put(current_exp.spec_hash(), litmus_result, current_exp)
+    old.put(old_exp.spec_hash(), litmus_result, old_exp)
+
+    assert store.prune_candidates() == []
+    candidates = store.prune_candidates(stale=True)
+    assert [c.fingerprint for c in candidates] == ["old-kernel"]
+    # preview removed nothing
+    assert store.stats()["entries"] == 2
+    assert store.prune(stale=True) == 1
+    assert store.stats()["entries"] == 1

@@ -136,6 +136,20 @@ def test_cli_store_resume_across_sessions(tmp_path, capsys):
     assert report1.read_text() == report2.read_text()
 
 
+def test_cli_report_append_stacks_campaigns(tmp_path, capsys):
+    """`sweep run --report F` then `--report F --append` leaves both
+    campaigns' reports in the file, in run order."""
+    from repro.api.cli import main
+
+    report = tmp_path / "stacked.md"
+    assert main(["sweep", "run", "smoke", "--report", str(report)]) == 0
+    first = report.read_text()
+    assert main(["sweep", "run", "smoke", "--report", str(report),
+                 "--append"]) == 0
+    assert "appended report" in capsys.readouterr().out
+    assert report.read_text() == first + first
+
+
 def test_cli_store_env_var_default(tmp_path, capsys, monkeypatch):
     """$REPRO_STORE selects the store when --store is absent."""
     from repro.api.cli import main
@@ -185,6 +199,14 @@ def test_cli_store_stats_verify_prune_export(tmp_path, capsys):
     for entry in ResultStore(store_dir).entries():
         old = entry.mtime - 2 * 86400
         os.utime(entry.path, (old, old))
+    # --dry-run previews the candidates without touching the store
+    assert main(["store", "prune", "--store", store_dir,
+                 "--max-age-days", "1", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "would prune 4 entries" in out
+    assert out.count("would prune " + store_dir) == 4
+    assert main(["store", "stats", "--store", store_dir]) == 0
+    assert "entries          : 4" in capsys.readouterr().out
     assert main(["store", "prune", "--store", store_dir,
                  "--max-age-days", "1"]) == 0
     assert "pruned 4 entries" in capsys.readouterr().out

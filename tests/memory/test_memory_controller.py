@@ -9,12 +9,14 @@ from repro.sim.config import MemoryConfig, PimModuleConfig
 from repro.sim.messages import Message, MessageType
 
 
-def _mc(sim, buffer_capacity=4, op_latency=100, queue_capacity=8):
+def _mc(sim, buffer_capacity=4, op_latency=100, queue_capacity=8,
+        dram_burst_len=1):
     memory = VersionedMemory()
     resp = DirectDispatcher(sim, "resp")
     mc = MemoryController(sim, "mc",
                           MemoryConfig(dram_latency=20, dram_service_interval=2,
-                                       queue_capacity=queue_capacity),
+                                       queue_capacity=queue_capacity,
+                                       dram_burst_len=dram_burst_len),
                           memory, resp)
     module = PimModule(sim, "pim",
                        PimModuleConfig(buffer_capacity=buffer_capacity,
@@ -130,3 +132,60 @@ def test_queue_length_stat_sampled_at_arrival(sim):
     mc.offer(make_load(0x100, reply_to=requester))
     mc.offer(make_load(0x200, reply_to=requester))
     assert mc.stats.as_dict()["queue_length_at_arrival_count"] == 2
+
+
+# ---------------------------------------------------------------------- #
+# DRAM burst batching (dram_burst_len > 1)
+# ---------------------------------------------------------------------- #
+
+
+def test_burst_fuses_same_window_accesses(sim):
+    """Queued accesses in one aligned burst window ride one service
+    interval; an access outside the window waits for the next."""
+    mc, _, memory = _mc(sim, dram_burst_len=4)
+    for addr in (0x9000, 0x9040, 0x9080):  # one 4-line window
+        memory.write(addr, 2)
+    requester = ResponseCollector()
+    for addr in (0x9000, 0x10000, 0x9040, 0x9080):
+        mc.offer(make_load(addr, reply_to=requester))
+    sim.run()
+    assert len(requester.of_type(MessageType.LOAD_RESP)) == 4
+    snap = mc.stats.as_dict()
+    # Window trio fused into one burst, the outlier issued alone.
+    assert snap["bursts_issued"] == 2
+    assert snap["burst_length"] == 2.0  # (3 + 1) / 2
+    # Fusing saved a service interval: trio at t=0, outlier at t=2.
+    assert sim.now == 2 + 20  # second interval + DRAM latency
+
+
+def test_burst_preserves_same_line_order(sim):
+    """A writeback and a younger load to the same line fuse in queue
+    order, so the load observes the written version."""
+    mc, _, memory = _mc(sim, dram_burst_len=4)
+    requester = ResponseCollector()
+    mc.offer(Message(MessageType.WRITEBACK, addr=0xB000, version=7))
+    mc.offer(make_load(0xB000, reply_to=requester))
+    sim.run()
+    assert requester.of_type(MessageType.LOAD_RESP)[0].version == 7
+
+
+def test_burst_skips_pim_scope_traffic(sim, scope_map):
+    """PIM-memory messages never fuse into a DRAM burst even when their
+    addresses fall inside the window."""
+    mc, module, memory = _mc(sim, dram_burst_len=4, op_latency=5)
+    scope0 = scope_map.scope(0)
+    requester = ResponseCollector()
+    mc.offer(make_load(scope0.base & ~0xFF, reply_to=requester))
+    mc.offer(make_load(scope0.base + 64, scope=0, reply_to=requester))
+    sim.run()
+    assert len(requester.of_type(MessageType.LOAD_RESP)) == 2
+    assert mc.stats.as_dict()["burst_length"] == 1.0
+
+
+def test_default_burst_len_emits_no_burst_stats(sim):
+    mc, _, _ = _mc(sim)
+    requester = ResponseCollector()
+    mc.offer(make_load(0x9000, reply_to=requester))
+    sim.run()
+    snap = mc.stats.as_dict()
+    assert "bursts_issued" not in snap and "burst_length" not in snap

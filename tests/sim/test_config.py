@@ -75,3 +75,38 @@ def test_misaligned_pim_base_rejected():
 def test_scope_buffer_entries():
     sb = ScopeBufferConfig(sets=64, ways=4)
     assert sb.entries == 256
+
+
+def test_mshr_knobs_default_off_and_roundtrip():
+    """mshr_entries=None means the level's legacy file size with no
+    stats exported -- the digest-preserving default."""
+    from repro.sim.config import config_from_dict, config_to_dict
+
+    cfg = SystemConfig.scaled_default()
+    assert cfg.l1.mshr_entries is None and cfg.l1.coalescing
+    assert cfg.llc.mshr_entries is None and cfg.llc.coalescing
+    assert cfg.memory.dram_burst_len == 1
+    tuned = config_from_dict({
+        "preset": "scaled",
+        "l1": {"mshr_entries": 4, "coalescing": False},
+        "llc": {"mshr_entries": 16},
+        "memory": {"dram_burst_len": 8},
+    })
+    clone = config_from_dict(config_to_dict(tuned))
+    assert clone.l1.mshr_entries == 4 and not clone.l1.coalescing
+    assert clone.llc.mshr_entries == 16 and clone.llc.coalescing
+    assert clone.memory.dram_burst_len == 8
+
+
+def test_mshr_entries_validated():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=4 << 10, ways=4, mshr_entries=0)
+
+
+def test_dram_burst_len_must_be_power_of_two():
+    from repro.sim.config import MemoryConfig
+
+    MemoryConfig(dram_burst_len=4)  # accepted
+    for bad in (0, 3, 6):
+        with pytest.raises(ValueError):
+            MemoryConfig(dram_burst_len=bad)
