@@ -38,8 +38,10 @@ fresh success back.
 
 from repro.api.backends import (
     ExecutionBackend,
+    ExperimentFailure,
     ProcessPoolBackend,
     SerialBackend,
+    WorkQueueBackend,
     backend_for,
     execute_experiment,
 )
@@ -82,6 +84,7 @@ __all__ = [
     "CampaignResult",
     "Experiment",
     "ExecutionBackend",
+    "ExperimentFailure",
     "Pivot",
     "ProcessPoolBackend",
     "REGISTRY",
@@ -92,6 +95,7 @@ __all__ = [
     "SimulationResult",
     "StatsView",
     "Sweep",
+    "WorkQueueBackend",
     "UnknownWorkloadError",
     "WorkloadRegistry",
     "backend_for",

@@ -42,10 +42,16 @@ class ExperimentFailure:
     """One failed point of a settled batch.
 
     Plain data (a traceback string), so it crosses the process-pool
-    boundary exactly like a result does.
+    boundary exactly like a result does.  ``retryable`` separates the
+    failure taxonomy the work queue acts on: ``False`` means the *spec*
+    failed (a deterministic error that would fail identically on any
+    retry -- never retried, isolated per point), ``True`` means the
+    *environment* failed (a hung point hitting the pool timeout, a point
+    lost to worker crashes) and re-running it may well succeed.
     """
 
     error: str
+    retryable: bool = False
 
 
 #: What one point of a settled batch yields.
@@ -125,9 +131,17 @@ class SerialBackend(ExecutionBackend):
         return [execute_experiment(e) for e in experiments]
 
 
-def backend_for(jobs: int) -> ExecutionBackend:
-    """The natural backend for a worker count: a pool above one job."""
-    return ProcessPoolBackend(jobs=jobs) if jobs > 1 else SerialBackend()
+def backend_for(jobs: int,
+                timeout_s: Optional[float] = None) -> ExecutionBackend:
+    """The natural backend for a worker count: a pool above one job.
+
+    A per-point ``timeout_s`` forces the pool even at one job -- a
+    timeout is only enforceable on work running in a child process the
+    parent can abandon.
+    """
+    if jobs > 1 or timeout_s is not None:
+        return ProcessPoolBackend(jobs=jobs, timeout_s=timeout_s)
+    return SerialBackend()
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -139,22 +153,54 @@ class ProcessPoolBackend(ExecutionBackend):
             best when run times differ wildly across a sweep (strict
             models at high scope counts run much longer than Naive at
             low ones).
+        timeout_s: per-point wall-clock budget for *settled* batches.  A
+            point that exceeds it settles as a retryable
+            :class:`ExperimentFailure` instead of wedging the whole
+            shard; the hung child is killed when the pool closes.  The
+            budget is measured from when the batch starts waiting on
+            that point, so it bounds wait-per-point, not total wall.
     """
 
     name = "process-pool"
 
-    def __init__(self, jobs: Optional[int] = None, chunksize: int = 1) -> None:
+    def __init__(self, jobs: Optional[int] = None, chunksize: int = 1,
+                 timeout_s: Optional[float] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.chunksize = chunksize
+        self.timeout_s = timeout_s
 
     def run_all(self, experiments: Sequence[Experiment]) -> List[SimulationResult]:
         return self._map(execute_experiment, experiments)
 
     def run_all_settled(self, experiments: Sequence[Experiment],
                         store=None) -> List[Settled]:
-        return self._map(_settled_fn(store), experiments)
+        fn = _settled_fn(store)
+        if self.timeout_s is None:
+            return self._map(fn, experiments)
+        experiments = list(experiments)
+        if not experiments:
+            return []
+        workers = max(1, min(self.jobs, len(experiments)))
+        ctx = self._context()
+        # Exiting the `with` terminates the pool, killing any child
+        # still stuck on a timed-out point.
+        with ctx.Pool(processes=workers) as pool:
+            pending = [pool.apply_async(fn, (e,)) for e in experiments]
+            settled: List[Settled] = []
+            for experiment, result in zip(experiments, pending):
+                try:
+                    settled.append(result.get(self.timeout_s))
+                except multiprocessing.TimeoutError:
+                    settled.append(ExperimentFailure(
+                        f"point {experiment.spec_hash()} exceeded the "
+                        f"{self.timeout_s}s per-point timeout (hung "
+                        f"simulation or starved worker); killed with the "
+                        f"pool", retryable=True))
+            return settled
 
     def _map(self, fn, experiments: Sequence[Experiment]) -> List:
         experiments = list(experiments)
@@ -173,3 +219,60 @@ class ProcessPoolBackend(ExecutionBackend):
         return multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
+
+
+class WorkQueueBackend(ExecutionBackend):
+    """Distribute a settled batch across ``repro-bench worker`` fleets.
+
+    The batch is sharded into lease-protected task files under the
+    store's ``queue/`` tree (see :mod:`repro.api.workqueue`); any worker
+    pointed at the same store pulls shards and persists results
+    write-through.  The coordinator embedded in this backend re-leases
+    expired shards, retries transient failures with capped backoff, and
+    degrades to local execution through ``fallback`` when no workers
+    pick tasks up within the grace period -- so ``--distributed`` never
+    needs a fleet to make progress, it only goes faster with one.
+
+    Only :meth:`run_all_settled` is distributed; :meth:`run_all` runs
+    the same path and raises on the first failure (matching the strict
+    contract of the other backends).  Keyword arguments mirror
+    :class:`~repro.api.workqueue.Coordinator`.
+    """
+
+    name = "work-queue"
+
+    def __init__(self, store, **coordinator_kwargs) -> None:
+        from repro.api.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self._kwargs = coordinator_kwargs
+        #: The last run's supervision counters (set by run_all_settled).
+        self.last_stats: Optional[dict] = None
+
+    def _coordinator(self):
+        from repro.api.workqueue import Coordinator
+
+        return Coordinator(self.store, **self._kwargs)
+
+    def run_all(self, experiments: Sequence[Experiment]) -> List[SimulationResult]:
+        results = []
+        for outcome in self.run_all_settled(experiments):
+            if isinstance(outcome, ExperimentFailure):
+                raise RuntimeError(
+                    f"distributed point failed:\n{outcome.error}")
+            results.append(outcome)
+        return results
+
+    def run_all_settled(self, experiments: Sequence[Experiment],
+                        store=None) -> List[Settled]:
+        if store is not None and os.fspath(store.root) != self.store.root:
+            raise ValueError(
+                f"WorkQueueBackend is bound to store {self.store.root!r} "
+                f"but the batch was dispatched with store {store.root!r}; "
+                f"the queue and the results must share one store")
+        coordinator = self._coordinator()
+        settled = coordinator.run(experiments)
+        self.last_stats = dict(coordinator.stats)
+        return settled

@@ -9,6 +9,8 @@ Five subcommands::
     repro-bench sweep list-points CAMPAIGN
     repro-bench sweep run CAMPAIGN [--jobs N|auto] [--output FILE]
                           [--report FILE] [--resume FILE] [--store DIR]
+                          [--timeout-s N] [--distributed] [--shard-size N]
+                          [--lease-s N] [--grace-s N] [--max-attempts N]
         Declarative campaigns: expand a registered campaign (or a JSON
         campaign file) into its experiment grid and execute it with
         per-point failure isolation.  ``--output`` writes the campaign
@@ -19,10 +21,29 @@ Five subcommands::
         ``$REPRO_STORE``) attaches the persistent result store: points
         already on disk hydrate without simulating, fresh points persist
         as they finish -- any campaign resumes across sessions without
-        an artifact file.
+        an artifact file.  ``--timeout-s`` bounds each point's wall
+        clock (a hung point fails settled instead of wedging the shard).
+        ``--distributed`` shards the campaign into a lease-protected
+        work queue under the store that any fleet of ``repro-bench
+        worker`` processes can chew cooperatively; crashed or straggling
+        workers are re-dispatched, transient failures retried with
+        capped backoff, and the run degrades to local execution when no
+        worker joins within the grace period.
+
+    repro-bench worker --store DIR [--poll-s N] [--max-idle-s N]
+                       [--max-tasks N] [--once] [--id NAME]
+        Join the fleet: pull queue tasks published under the store,
+        execute their points with write-through persistence, heartbeat
+        the lease after every point.  Safe to run any number of these
+        on any machine sharing the store directory.
+
+    repro-bench queue status [--store DIR]
+        Show each active queue run: shards, leases (active/expired),
+        completed tasks.
 
     repro-bench store stats|verify [--store DIR]
     repro-bench store prune [--store DIR] [--max-age-days N] [--stale]
+                            [--fingerprint FP]
     repro-bench store export CAMPAIGN --output FILE [--store DIR]
         Inspect the persistent store, garbage-collect it by age or by
         code fingerprint, or export a campaign's stored points as a
@@ -158,6 +179,53 @@ def _build_parser() -> argparse.ArgumentParser:
                            "$REPRO_STORE); stored points hydrate without "
                            "simulating, fresh points persist as they "
                            "finish")
+    srun.add_argument("--timeout-s", type=float, default=None, metavar="N",
+                      help="per-point wall-clock budget; a hung point "
+                           "fails settled (and retryable) instead of "
+                           "wedging its shard")
+    srun.add_argument("--distributed", action="store_true",
+                      help="execute through the lease-protected work "
+                           "queue under --store so repro-bench worker "
+                           "fleets can share the campaign; requires a "
+                           "store")
+    srun.add_argument("--shard-size", type=int, default=4, metavar="N",
+                      help="points per published work-queue task "
+                           "(--distributed)")
+    srun.add_argument("--lease-s", type=float, default=60.0, metavar="N",
+                      help="worker lease duration; must exceed the "
+                           "longest single point (--distributed)")
+    srun.add_argument("--grace-s", type=float, default=15.0, metavar="N",
+                      help="how long a task may go unclaimed before the "
+                           "coordinator runs it locally (--distributed)")
+    srun.add_argument("--max-attempts", type=int, default=4, metavar="N",
+                      help="tries per task before its points settle as "
+                           "lost (--distributed)")
+
+    worker = sub.add_parser("worker",
+                            help="pull and execute work-queue tasks from "
+                                 "a shared store")
+    worker.add_argument("--store", default=None, metavar="DIR",
+                        help="store directory (default: $REPRO_STORE)")
+    worker.add_argument("--poll-s", type=float, default=0.5, metavar="N",
+                        help="idle sleep between queue scans")
+    worker.add_argument("--max-idle-s", type=float, default=None,
+                        metavar="N",
+                        help="exit after the queue stays empty this long "
+                             "(default: poll forever)")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after completing N tasks")
+    worker.add_argument("--once", action="store_true",
+                        help="drain what is claimable now, then exit")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker identity recorded in leases "
+                             "(default: <hostname>-<pid>)")
+
+    queue = sub.add_parser("queue", help="inspect the distributed work "
+                                         "queue")
+    qsub = queue.add_subparsers(dest="queue_command", required=True)
+    qstatus = qsub.add_parser("status", help="show active queue runs")
+    qstatus.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory (default: $REPRO_STORE)")
 
     store = sub.add_parser("store",
                            help="inspect and maintain the persistent "
@@ -179,6 +247,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="remove entries written by other code "
                                  "fingerprints (results the current "
                                  "simulator can never serve)")
+            sp.add_argument("--fingerprint", default=None, metavar="FP",
+                            help="remove entries written under exactly "
+                                 "this code fingerprint")
             sp.add_argument("--dry-run", action="store_true",
                             help="list what would be pruned without "
                                  "removing anything")
@@ -313,7 +384,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.report import campaign_markdown, format_table
-    from repro.api.backends import backend_for
+    from repro.api.backends import WorkQueueBackend, backend_for
     from repro.api.runner import Runner
     from repro.api.sweep import load_results, run_campaign
 
@@ -331,8 +402,19 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     points = campaign.points()
     hashes = {p.experiment.spec_hash() for p in points}
     cached = len(hashes & set(resume)) if resume else 0
-    backend = backend_for(jobs)
     store = _store_from_args(args)
+    if args.distributed:
+        if store is None:
+            raise SystemExit(
+                "--distributed needs a store (the queue lives under it): "
+                "pass --store DIR or set $REPRO_STORE")
+        _configure_logging()
+        backend = WorkQueueBackend(
+            store, shard_size=args.shard_size, lease_s=args.lease_s,
+            grace_s=args.grace_s, max_attempts=args.max_attempts,
+            fallback=backend_for(jobs, timeout_s=args.timeout_s))
+    else:
+        backend = backend_for(jobs, timeout_s=args.timeout_s)
     print(f"campaign {campaign.name}: {len(points)} points "
           f"({len(hashes)} unique, {cached} from cache) "
           f"on the {backend.name} backend"
@@ -346,6 +428,15 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     if store is not None:
         print(f"store: {runner.store_hits} points hydrated from "
               f"{store.root}")
+        if runner.reconciled:
+            print(f"store: {runner.reconciled} failed points reconciled "
+                  f"from concurrent writers")
+    if args.distributed and getattr(backend, "last_stats", None):
+        s = backend.last_stats
+        print(f"queue: {s['shards']} shards "
+              f"({s['worker_shards']} by workers, {s['local_shards']} "
+              f"local), {s['expired_leases']} leases re-dispatched, "
+              f"{s['retries']} retries, {s['lost_points']} lost")
     print(f"backend dispatches: {runner.dispatch_count}")
 
     if args.output is not None:
@@ -373,6 +464,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.sweep_command == "list-points":
         return _cmd_sweep_list_points(args)
     return _cmd_sweep_run(args)
+
+
+def _configure_logging() -> None:
+    """INFO-level logging for the distributed machinery (idempotent)."""
+    import logging
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.api.workqueue import run_worker
+
+    _configure_logging()
+    store = _require_store(args)
+    completed = run_worker(
+        store, worker_id=args.id, poll_s=args.poll_s, once=args.once,
+        max_idle_s=args.max_idle_s, max_tasks=args.max_tasks)
+    print(f"worker exiting: {completed} tasks completed")
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.api.workqueue import queue_status
+
+    runs = queue_status(_require_store(args))
+    if not runs:
+        print("no active queue runs")
+        return 0
+    headers = ["run", "points", "shards", "done", "active leases",
+               "expired leases", "fingerprint"]
+    rows = [[r["run"], r["points"], r["shards"], r["done"],
+             r["active_leases"], r["expired_leases"], r["fingerprint"]]
+            for r in runs]
+    print(format_table(headers, rows, title="work queue"))
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    return {
+        "status": _cmd_queue_status,
+    }[args.queue_command](args)
 
 
 def _cmd_store_stats(args: argparse.Namespace) -> int:
@@ -403,18 +538,22 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_prune(args: argparse.Namespace) -> int:
-    if args.max_age_days is None and not args.stale:
+    if (args.max_age_days is None and not args.stale
+            and args.fingerprint is None):
         raise SystemExit(
-            "nothing to prune: pass --max-age-days N and/or --stale")
+            "nothing to prune: pass --max-age-days N, --stale "
+            "and/or --fingerprint FP")
     store = _require_store(args)
     if args.dry_run:
         candidates = store.prune_candidates(
-            max_age_days=args.max_age_days, stale=args.stale)
+            max_age_days=args.max_age_days, stale=args.stale,
+            fingerprint=args.fingerprint)
         for entry in candidates:
             print(f"would prune {entry.path}")
         print(f"would prune {len(candidates)} entries from {store.root}")
         return 0
-    removed = store.prune(max_age_days=args.max_age_days, stale=args.stale)
+    removed = store.prune(max_age_days=args.max_age_days, stale=args.stale,
+                          fingerprint=args.fingerprint)
     print(f"pruned {removed} entries from {store.root}")
     return 0
 
@@ -528,6 +667,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
     return _cmd_run(args)
 
 

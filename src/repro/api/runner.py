@@ -62,6 +62,10 @@ class Runner:
         self.dispatch_count = 0
         #: Misses served by the persistent store since construction.
         self.store_hits = 0
+        #: Failed settled points later found completed in the store (a
+        #: concurrent worker or session finished them after our batch
+        #: gave up on them).
+        self.reconciled = 0
 
     # ------------------------------------------------------------------ #
 
@@ -120,6 +124,18 @@ class Runner:
                     failed[h] = outcome.error
                 else:
                     memo[h] = outcome
+            if failed and self.store is not None:
+                # Reconcile against the store before reporting failure:
+                # with several coordinators/workers chewing overlapping
+                # campaigns, a point that was lost or timed out *here*
+                # may have been completed (and persisted) by someone
+                # else in the meantime.  Deterministic failures are
+                # never in the store, so this only rescues transients.
+                rescued = self.store.get_many(list(failed))
+                for h, result in rescued.items():
+                    memo[h] = result
+                    del failed[h]
+                self.reconciled += len(rescued)
         return [(memo.get(h), failed.get(h)) for h in hashes]
 
     def _partition(self, experiments: Iterable[Experiment]):

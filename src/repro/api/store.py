@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import time
@@ -80,16 +81,25 @@ from repro.system.simulation import (
 
 __all__ = [
     "STORE_SCHEMA",
+    "QUARANTINE_DIR",
     "ResultStore",
     "StoreEntry",
+    "atomic_write_json",
     "code_fingerprint",
+    "read_json",
+    "try_create_json",
 ]
+
+logger = logging.getLogger("repro.store")
 
 #: Schema tag of one store entry file.
 STORE_SCHEMA = "repro-store-entry/1"
 
 #: Environment variable naming the default store directory for the CLI.
 STORE_ENV = "REPRO_STORE"
+
+#: Directory (under the store root) corrupt entries self-heal into.
+QUARANTINE_DIR = "quarantine"
 
 #: Subpackages whose sources define what a simulation computes.  The API
 #: layer (specs, sweeps, CLI) and analysis/report formatting are
@@ -129,6 +139,76 @@ def code_fingerprint() -> str:
                     hasher.update(file_digest.digest())
         _fingerprint_cache = hasher.hexdigest()[:16]
     return _fingerprint_cache
+
+
+# ---------------------------------------------------------------------- #
+# lock-free filesystem primitives
+#
+# The store and the distributed work queue (repro.api.workqueue) share
+# one concurrency discipline: JSON documents published by atomic rename,
+# claims taken by atomic exclusive create, tolerant reads that treat any
+# defect as absence.  No locks, no fsync ordering assumptions beyond
+# same-directory rename atomicity.
+# ---------------------------------------------------------------------- #
+
+
+def read_json(path: str) -> Optional[dict]:
+    """The JSON object at ``path``, or ``None`` on any defect.
+
+    Missing, torn, unparseable and non-object files all read as absent;
+    writers using :func:`atomic_write_json` guarantee a reader never
+    sees a half-written document at a published path.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def atomic_write_json(path: str, data: dict) -> str:
+    """Publish a JSON document atomically (tmp file + ``os.replace``).
+
+    Concurrent writers race benignly: the last rename wins whole, so a
+    reader sees one complete document or the other, never a mixture.
+    Returns ``path``.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def try_create_json(path: str, data: dict) -> bool:
+    """Atomically create ``path`` with ``data`` iff it does not exist.
+
+    This is the claim primitive of the work queue's leases: exactly one
+    of N racing processes wins the ``O_CREAT | O_EXCL`` create; the rest
+    see ``False`` and move on.  The payload is small enough that the
+    single write is effectively atomic for our tolerant readers.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return True
 
 
 class StoreEntry(NamedTuple):
@@ -208,22 +288,39 @@ class ResultStore:
         return self.get(spec_hash) is not None
 
     def _load(self, path: str) -> Optional[dict]:
-        """One verified entry payload, or ``None`` on any defect."""
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
+        """One verified entry payload, or ``None`` on any defect.
+
+        A well-formed entry whose result payload fails its recorded
+        sha256 is *corrupt* (bit rot, a crashed writer that somehow
+        published, a fault-injected worker): the read self-heals by
+        moving the file to ``<root>/quarantine/`` so the next write-back
+        repairs the address, and returns a miss.
+        """
+        data = read_json(path)
+        if data is None or data.get("schema") != STORE_SCHEMA:
             return None
-        if not isinstance(data, dict) or data.get("schema") != STORE_SCHEMA:
+        payload = data.get("result")
+        if not isinstance(payload, dict) \
+                or data.get("result_sha256") != result_digest(payload):
+            self._quarantine(path, data)
             return None
         if data.get("fingerprint") != self.fingerprint:
             return None
-        payload = data.get("result")
-        if not isinstance(payload, dict):
-            return None
-        if data.get("result_sha256") != result_digest(payload):
-            return None
         return data
+
+    def _quarantine(self, path: str, data: dict) -> None:
+        """Move one corrupt entry out of the addressable tree."""
+        target = os.path.join(self.root, QUARANTINE_DIR,
+                              os.path.basename(path))
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return
+        logger.warning(
+            "store: quarantined corrupt entry %s (spec %s, fingerprint %s)",
+            os.path.basename(path), data.get("spec_hash", "?"),
+            data.get("fingerprint", "?"))
 
     # -- writes ---------------------------------------------------------- #
 
@@ -245,23 +342,7 @@ class ResultStore:
             "result": payload,
             "result_sha256": result_digest(payload),
         }
-        path = self.path(spec_hash)
-        shard = os.path.dirname(path)
-        os.makedirs(shard, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=shard, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, indent=1, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_write_json(self.path(spec_hash), entry)
 
     def put_many(self, results: Dict[str, SimulationResult],
                  experiments: Optional[Dict[str, object]] = None) -> int:
@@ -273,12 +354,17 @@ class ResultStore:
     # -- maintenance ----------------------------------------------------- #
 
     def paths(self) -> Iterator[str]:
-        """Every entry file path on disk (cheap: no parsing)."""
+        """Every entry file path on disk (cheap: no parsing).
+
+        Only the two-hex-digit shard directories are entry shards; the
+        ``quarantine/`` tree and any work-queue state living under the
+        same root (``queue/``) are not addressable entries.
+        """
         if not os.path.isdir(self.root):
             return
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
                 continue
             for filename in sorted(os.listdir(shard_dir)):
                 if filename.endswith(".json") \
@@ -316,12 +402,17 @@ class ResultStore:
                 by_fingerprint.get(entry.fingerprint, 0) + 1
             if entry.fingerprint == self.fingerprint:
                 current += 1
+        quarantine = os.path.join(self.root, QUARANTINE_DIR)
+        quarantined = (len([f for f in os.listdir(quarantine)
+                            if f.endswith(".json")])
+                       if os.path.isdir(quarantine) else 0)
         return {
             "root": self.root,
             "fingerprint": self.fingerprint,
             "entries": total,
             "current_entries": current,
             "stale_entries": total - current,
+            "quarantined": quarantined,
             "size_bytes": size,
             "by_fingerprint": dict(sorted(by_fingerprint.items())),
         }
@@ -360,20 +451,27 @@ class ResultStore:
 
     def prune_candidates(self, max_age_days: Optional[float] = None,
                          stale: bool = False,
-                         now: Optional[float] = None) -> List[StoreEntry]:
+                         now: Optional[float] = None,
+                         fingerprint: Optional[str] = None) -> List[StoreEntry]:
         """The entries :meth:`prune` would remove, without removing them.
 
         ``max_age_days`` selects entries whose file mtime is older;
         ``stale`` selects every entry whose fingerprint is not this
-        store's (results no older kernel can ever serve again).  With
-        neither selector set, nothing is selected.
+        store's (results no older kernel can ever serve again);
+        ``fingerprint`` selects every entry recorded under that exact
+        fingerprint (the targeted form ``sweep run --resume`` suggests
+        when an artifact's engine no longer matches).  With no selector
+        set, nothing is selected.
         """
-        if max_age_days is None and not stale:
+        if max_age_days is None and not stale and fingerprint is None:
             return []
         now = time.time() if now is None else now
         candidates: List[StoreEntry] = []
         for entry in self.entries():
             if stale and entry.fingerprint != self.fingerprint:
+                candidates.append(entry)
+            elif fingerprint is not None \
+                    and entry.fingerprint == fingerprint:
                 candidates.append(entry)
             elif max_age_days is not None \
                     and now - entry.mtime > max_age_days * 86400.0:
@@ -381,13 +479,15 @@ class ResultStore:
         return candidates
 
     def prune(self, max_age_days: Optional[float] = None,
-              stale: bool = False, now: Optional[float] = None) -> int:
+              stale: bool = False, now: Optional[float] = None,
+              fingerprint: Optional[str] = None) -> int:
         """Garbage-collect entries; returns how many files were removed.
 
         Selector semantics are :meth:`prune_candidates`'s.
         """
         removed = 0
-        for entry in self.prune_candidates(max_age_days, stale, now):
+        for entry in self.prune_candidates(max_age_days, stale, now,
+                                           fingerprint):
             try:
                 os.unlink(entry.path)
                 removed += 1

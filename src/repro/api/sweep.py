@@ -294,6 +294,19 @@ class Sweep:
         )
 
 
+def shard_slices(count: int, shard_size: int) -> List[slice]:
+    """Contiguous point-range shards covering ``count`` points in order.
+
+    The distributed work queue publishes one task per slice; contiguity
+    keeps a shard's points adjacent in campaign order, so a re-dispatch
+    re-offers an intact range, never a scatter.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [slice(start, min(start + shard_size, count))
+            for start in range(0, count, shard_size)]
+
+
 @dataclass(frozen=True)
 class Pivot:
     """One figure's shape: a value pivoted over an x axis, split into
@@ -550,10 +563,13 @@ class CampaignResult:
     # -- JSON artifact / resume ------------------------------------------ #
 
     def to_json_dict(self) -> Dict[str, object]:
+        from repro.api.store import code_fingerprint
+
         return {
             "schema": SCHEMA,
             "campaign": self.campaign.name,
             "digest": self.digest(),
+            "fingerprint": code_fingerprint(),
             "points": [
                 {
                     "name": p.name,
@@ -575,12 +591,29 @@ def load_results(data: Mapping[str, object]) -> Dict[str, SimulationResult]:
     """Spec-hash -> result mapping from a campaign JSON artifact.
 
     Failed points carry no result and are skipped, so resuming retries
-    exactly them.
+    exactly them.  An artifact recorded under a different engine
+    fingerprint is refused outright: preloading it would silently serve
+    an older simulator's numbers as if the current one computed them.
+    (Artifacts predating the fingerprint field load unchecked.)
     """
     if data.get("schema") != SCHEMA:
         raise ValueError(
             f"not a campaign result artifact (schema {data.get('schema')!r},"
             f" expected {SCHEMA!r})")
+    recorded = data.get("fingerprint")
+    if recorded is not None:
+        from repro.api.store import code_fingerprint
+
+        current = code_fingerprint()
+        if recorded != current:
+            raise ValueError(
+                f"artifact was computed by engine fingerprint {recorded} "
+                f"but the current engine is {current}: the simulator "
+                f"changed since this artifact was written, so its results "
+                f"cannot seed a resume.  Re-run the campaign (a --store "
+                f"hydrates everything still valid), and garbage-collect "
+                f"the old results with `repro-bench store prune "
+                f"--fingerprint {recorded}`")
     out: Dict[str, SimulationResult] = {}
     for point in data.get("points", ()):
         if point.get("result") is not None:
@@ -772,7 +805,14 @@ def _paper_grid_campaign() -> Campaign:
             "backend dispatches and reproduces this report "
             "byte-for-byte); the `geometry-ablation` campaign extends "
             "the same workflow to the Figs. 11-13 LLC-size and PIM-"
-            "geometry axes."
+            "geometry axes.  The weekly full-sweep CI job runs this "
+            "grid through the fault-tolerant work queue (`repro-bench "
+            "worker --store DIR` fleets plus `sweep run paper-grid "
+            "--distributed --store DIR`): leased point-range tasks, "
+            "straggler re-dispatch and retry with backoff make the "
+            "digest independent of worker crashes, and a lone "
+            "coordinator degrades to local execution, so this report "
+            "is reproducible on one machine or forty."
         ),
         sweeps=(ycsb, tpch, skew),
         pivots=(

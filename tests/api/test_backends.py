@@ -1,5 +1,6 @@
 """Execution backends: serial/process-pool equivalence and determinism."""
 
+import time
 from dataclasses import asdict
 
 import pytest
@@ -8,8 +9,10 @@ from repro.api import (
     Experiment,
     ProcessPoolBackend,
     SerialBackend,
+    backend_for,
     execute_experiment,
 )
+from repro.api.backends import ExperimentFailure
 from repro.core.models import ConsistencyModel
 from repro.sim.config import SystemConfig
 from repro.workloads.ycsb import YcsbParams
@@ -54,6 +57,47 @@ def test_process_pool_single_job_falls_back_to_serial():
 def test_process_pool_rejects_bad_job_count():
     with pytest.raises(ValueError):
         ProcessPoolBackend(jobs=0)
+
+
+def test_pool_timeout_settles_hung_point_as_retryable(monkeypatch):
+    """A point that hangs past timeout_s settles as a retryable failure
+    instead of wedging the shard; the other points still complete.
+    (The pool forks, so children inherit the monkeypatched executor.)"""
+    import repro.api.backends as backends
+
+    real = backends.execute_experiment
+
+    def sometimes_hangs(experiment):
+        if experiment.variant == "hang":
+            time.sleep(120)
+        return real(experiment)
+
+    monkeypatch.setattr(backends, "execute_experiment", sometimes_hangs)
+    fast, hung = _experiments()[:2]
+    hung = Experiment.from_dict(dict(hung.to_dict(), variant="hang"))
+    start = time.time()
+    settled = ProcessPoolBackend(jobs=2, timeout_s=3.0).run_all_settled(
+        [fast, hung])
+    assert time.time() - start < 60  # the hung child did not wedge us
+    assert not isinstance(settled[0], ExperimentFailure)
+    assert settled[0].run_time == execute_experiment(fast).run_time
+    assert isinstance(settled[1], ExperimentFailure)
+    assert settled[1].retryable  # environmental, so the queue may retry
+    assert "per-point timeout" in settled[1].error
+
+
+def test_pool_timeout_validation_and_backend_for():
+    with pytest.raises(ValueError):
+        ProcessPoolBackend(timeout_s=0)
+    assert isinstance(backend_for(1), SerialBackend)
+    assert isinstance(backend_for(4), ProcessPoolBackend)
+    # a timeout forces the pool even at one job: only a child process
+    # can be abandoned
+    timed = backend_for(1, timeout_s=5.0)
+    assert isinstance(timed, ProcessPoolBackend)
+    assert timed.timeout_s == 5.0
+    # failures default to the deterministic (never-retried) kind
+    assert ExperimentFailure("boom").retryable is False
 
 
 def test_experiments_and_results_are_picklable():

@@ -138,3 +138,54 @@ def test_perf_update_preserves_tracked_schema(tmp_path):
     litmus = updated["configs"]["litmus"]
     assert litmus["speedup_vs_baseline"] >= 1.0
     assert litmus["stats_sha256"] == record["configs"]["litmus"]["stats_sha256"]
+
+
+def test_worker_once_on_an_empty_queue_exits_clean(tmp_path, capsys):
+    assert main(["worker", "--store", str(tmp_path), "--once"]) == 0
+    assert "0 tasks completed" in capsys.readouterr().out
+
+
+def test_worker_requires_a_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    with pytest.raises(SystemExit, match="no store"):
+        main(["worker", "--once"])
+
+
+def test_queue_status_empty_and_populated(tmp_path, capsys):
+    assert main(["queue", "status", "--store", str(tmp_path)]) == 0
+    assert "no active queue runs" in capsys.readouterr().out
+
+    from repro.api import Experiment, ResultStore
+    from repro.api.workqueue import _publish_run
+
+    exp = Experiment.from_dict({
+        "workload": "litmus", "params": {"rounds": 2, "threads": 2},
+        "config": {"preset": "scaled", "num_scopes": 2}})
+    _publish_run(ResultStore(str(tmp_path)), [exp], 1, 30.0)
+    assert main(["queue", "status", "--store", str(tmp_path)]) == 0
+    assert "work queue" in capsys.readouterr().out
+
+
+def test_sweep_run_distributed_requires_a_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    with pytest.raises(SystemExit, match="--distributed needs a store"):
+        main(["sweep", "run", "smoke", "--distributed"])
+
+
+def test_store_prune_by_fingerprint_cli(tmp_path, capsys):
+    from repro.api import Experiment, ResultStore
+    from repro.api.backends import execute_experiment
+
+    exp = Experiment.from_dict({
+        "workload": "litmus", "params": {"rounds": 2, "threads": 2},
+        "config": {"preset": "scaled", "num_scopes": 2}})
+    result = execute_experiment(exp)
+    ResultStore(str(tmp_path), fingerprint="old-kernel").put(
+        exp.spec_hash(), result, exp)
+
+    assert main(["store", "prune", "--store", str(tmp_path),
+                 "--fingerprint", "old-kernel", "--dry-run"]) == 0
+    assert "would prune 1 entries" in capsys.readouterr().out
+    assert main(["store", "prune", "--store", str(tmp_path),
+                 "--fingerprint", "old-kernel"]) == 0
+    assert "pruned 1 entries" in capsys.readouterr().out

@@ -148,6 +148,67 @@ def test_corrupt_entries_read_as_misses(tmp_path, litmus_result):
     assert store.get(exp.spec_hash()) is None
 
 
+def test_corrupt_entry_is_quarantined_on_read(tmp_path, litmus_result,
+                                              caplog):
+    """A digest-mismatch entry self-heals: the read moves it aside to
+    quarantine/, logs one warning, and frees the address for a rewrite."""
+    import logging
+
+    store = ResultStore(str(tmp_path))
+    exp = _experiment()
+    path = store.put(exp.spec_hash(), litmus_result, exp)
+    entry = json.loads(open(path).read())
+    entry["result"]["run_time"] += 1
+    open(path, "w").write(json.dumps(entry))
+
+    with caplog.at_level(logging.WARNING, logger="repro.store"):
+        assert store.get(exp.spec_hash()) is None
+    assert not os.path.exists(path)  # moved, not copied
+    quarantined = os.listdir(os.path.join(str(tmp_path), "quarantine"))
+    assert quarantined == [os.path.basename(path)]
+    assert store.stats()["quarantined"] == 1
+    warnings = [r for r in caplog.records if "quarantined" in r.message]
+    assert len(warnings) == 1
+    assert exp.spec_hash() in warnings[0].getMessage()
+    assert store.fingerprint in warnings[0].getMessage()
+
+    # quarantine is outside the addressable tree: verify stays clean,
+    # and a re-run repairs the address
+    assert store.verify() == []
+    store.put(exp.spec_hash(), litmus_result, exp)
+    assert store.get(exp.spec_hash()) is not None
+    assert store.stats()["entries"] == 1
+
+    # torn JSON and foreign schemas are misses but NOT quarantined
+    # (nothing trustworthy to preserve, and tmp files must not move)
+    open(path, "w").write("{\"schema\": \"repro-store")
+    assert store.get(exp.spec_hash()) is None
+    assert store.stats()["quarantined"] == 1
+
+
+def test_prune_by_fingerprint(tmp_path, litmus_result):
+    """`store prune --fingerprint FP` garbage-collects exactly one
+    engine generation (what the resume mismatch error suggests)."""
+    store = ResultStore(str(tmp_path))
+    old = ResultStore(str(tmp_path), fingerprint="old-kernel")
+    ancient = ResultStore(str(tmp_path), fingerprint="ancient-kernel")
+    exps = [_experiment(variant=f"v{i}") for i in range(3)]
+    store.put(exps[0].spec_hash(), litmus_result, exps[0])
+    old.put(exps[1].spec_hash(), litmus_result, exps[1])
+    ancient.put(exps[2].spec_hash(), litmus_result, exps[2])
+
+    candidates = store.prune_candidates(fingerprint="old-kernel")
+    assert [c.fingerprint for c in candidates] == ["old-kernel"]
+    assert store.prune(fingerprint="old-kernel") == 1
+    stats = store.stats()
+    assert stats["entries"] == 2
+    assert stats["by_fingerprint"] == {store.fingerprint: 1,
+                                       "ancient-kernel": 1}
+    # the current fingerprint can be named too (full rebuild)
+    assert store.prune(fingerprint=store.fingerprint) == 1
+    assert store.get(exps[0].spec_hash()) is None
+
+
 def test_verify_reports_each_defect(tmp_path, litmus_result):
     store = ResultStore(str(tmp_path))
     exp = _experiment()

@@ -336,6 +336,29 @@ def test_load_results_rejects_foreign_json():
         load_results({"points": []})
 
 
+def test_load_results_names_both_fingerprints_on_mismatch():
+    """Resuming from an artifact of another engine generation fails
+    loudly -- naming both fingerprints and the prune command -- instead
+    of silently re-running everything."""
+    from repro.api.store import code_fingerprint
+
+    data = run_campaign(_two_model_campaign()).to_json_dict()
+    assert data["fingerprint"] == code_fingerprint()  # recorded on write
+    assert load_results(data)  # the matching artifact loads
+
+    stale = dict(data, fingerprint="0123456789abcdef")
+    with pytest.raises(ValueError) as exc:
+        load_results(stale)
+    message = str(exc.value)
+    assert "0123456789abcdef" in message  # the artifact's fingerprint
+    assert code_fingerprint() in message  # ...and the current engine's
+    assert "store prune --fingerprint 0123456789abcdef" in message
+
+    # artifacts predating the field still load unchecked (back-compat)
+    legacy = {k: v for k, v in data.items() if k != "fingerprint"}
+    assert load_results(legacy)
+
+
 # --------------------------------------------------------------------- #
 # aggregation
 # --------------------------------------------------------------------- #
