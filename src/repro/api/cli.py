@@ -37,9 +37,27 @@ Five subcommands::
         the lease after every point.  Safe to run any number of these
         on any machine sharing the store directory.
 
-    repro-bench queue status [--store DIR]
+    repro-bench queue status [--store DIR] [--json]
         Show each active queue run: shards, leases (active/expired),
-        completed tasks.
+        completed tasks.  ``--json`` emits the rows machine-readably.
+
+    repro-bench fuzz run [--seed N] [--programs N] [--max-ops N]
+                         [--rounds N] [--jobs N|auto] [--store DIR]
+                         [--artifacts DIR] [--output FILE] [--no-timing]
+                         [--no-corpus] [--weaken MODE]
+    repro-bench fuzz replay [--store DIR] [--artifacts DIR] [--jobs N]
+                            [--no-timing]
+    repro-bench fuzz corpus [--store DIR] [--artifacts DIR]
+        Differential litmus fuzzing (:mod:`repro.fuzz`): ``run``
+        generates a seeded scenario batch, checks the strength-lattice,
+        happens-before and simulator-agreement invariants, shrinks any
+        violation to a minimal JSON repro under ``DIR/fuzz/repros/``
+        and banks surviving scenarios with their outcome fingerprints
+        into the ``DIR/fuzz/corpus/`` regression corpus; the report is
+        byte-identical across backends for a fixed seed.  ``replay``
+        re-checks every banked entry and exits nonzero on drift;
+        ``corpus`` summarizes what is banked.  ``--weaken`` breaks a
+        mechanism on purpose (oracle self-test).
 
     repro-bench store stats|verify [--store DIR]
     repro-bench store prune [--store DIR] [--max-age-days N] [--stale]
@@ -226,6 +244,63 @@ def _build_parser() -> argparse.ArgumentParser:
     qstatus = qsub.add_parser("status", help="show active queue runs")
     qstatus.add_argument("--store", default=None, metavar="DIR",
                          help="store directory (default: $REPRO_STORE)")
+    qstatus.add_argument("--json", action="store_true",
+                         help="emit the run rows as JSON (machine-"
+                              "readable; an empty queue prints [])")
+
+    from repro.fuzz.oracle import WEAKEN_CHOICES
+
+    fuzz = sub.add_parser("fuzz",
+                          help="differential litmus fuzzing of the "
+                               "consistency models")
+    fsub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    frun = fsub.add_parser("run",
+                           help="generate scenarios, check invariants, "
+                                "shrink violations, bank survivors")
+    frun.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="root generator seed (the whole run is a "
+                           "pure function of it)")
+    frun.add_argument("--programs", type=int, default=50, metavar="N",
+                      help="scenario batch size")
+    frun.add_argument("--max-ops", type=int, default=None, metavar="N",
+                      help="cap each scenario's operation count")
+    frun.add_argument("--rounds", type=int, default=2, metavar="N",
+                      help="timing-workload repetitions per scenario")
+    frun.add_argument("--jobs", default="1", metavar="N|auto",
+                      help="worker processes for the timing leg")
+    frun.add_argument("--store", default=None, metavar="DIR",
+                      help="result store directory (default: "
+                           "$REPRO_STORE); also the default corpus root")
+    frun.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="corpus/repro root (default: the store root)")
+    frun.add_argument("--output", default=None, metavar="FILE",
+                      help="write the deterministic JSON run report")
+    frun.add_argument("--no-timing", action="store_true",
+                      help="skip the timing-simulator agreement leg")
+    frun.add_argument("--no-corpus", action="store_true",
+                      help="do not bank survivors or repros on disk")
+    frun.add_argument("--weaken", default=None, choices=WEAKEN_CHOICES,
+                      help="deliberately break a mechanism (oracle "
+                           "self-test; violations are expected and the "
+                           "command exits nonzero)")
+    freplay = fsub.add_parser("replay",
+                              help="re-check every banked corpus entry "
+                                   "(regression suite)")
+    freplay.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory (default: $REPRO_STORE)")
+    freplay.add_argument("--artifacts", default=None, metavar="DIR",
+                         help="corpus root (default: the store root)")
+    freplay.add_argument("--jobs", default="1", metavar="N|auto",
+                         help="worker processes for timing re-runs")
+    freplay.add_argument("--no-timing", action="store_true",
+                         help="skip re-simulating recorded stale counts")
+    fcorpus = fsub.add_parser("corpus",
+                              help="summarize the banked corpus and "
+                                   "minimal repros")
+    fcorpus.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory (default: $REPRO_STORE)")
+    fcorpus.add_argument("--artifacts", default=None, metavar="DIR",
+                         help="corpus root (default: the store root)")
 
     store = sub.add_parser("store",
                            help="inspect and maintain the persistent "
@@ -488,10 +563,15 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue_status(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analysis.report import format_table
     from repro.api.workqueue import queue_status
 
     runs = queue_status(_require_store(args))
+    if args.json:
+        print(json.dumps(runs, indent=2, sort_keys=True))
+        return 0
     if not runs:
         print("no active queue runs")
         return 0
@@ -525,15 +605,25 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_verify(args: argparse.Namespace) -> int:
+    import os
+
     store = _require_store(args)
     problems = store.verify()
+    quarantined = store.quarantined()
     total = sum(1 for _ in store.paths())
-    if not problems:
+    if not problems and not quarantined:
         print(f"ok: {total} entries verified in {store.root}")
         return 0
     for path, problem in problems:
         print(f"BAD {path}: {problem}")
-    print(f"{len(problems)} of {total} entries failed verification")
+    for name in quarantined:
+        print(f"QUARANTINED {name}")
+    if problems:
+        print(f"{len(problems)} of {total} entries failed verification")
+    if quarantined:
+        print(f"{len(quarantined)} corrupt entries were quarantined into "
+              f"{os.path.join(store.root, 'quarantine')}; inspect them, "
+              f"then remove that directory to clear this report")
     return 1
 
 
@@ -594,6 +684,122 @@ def _cmd_store(args: argparse.Namespace) -> int:
         "prune": _cmd_store_prune,
         "export": _cmd_store_export,
     }[args.store_command](args)
+
+
+def _fuzz_root(args: argparse.Namespace, store) -> Optional[str]:
+    """Where fuzz artifacts live: --artifacts beats the store root."""
+    if getattr(args, "artifacts", None):
+        return args.artifacts
+    return store.root if store is not None else None
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz.harness import fuzz_run
+
+    store = _store_from_args(args)
+    corpus_root = None if args.no_corpus else _fuzz_root(args, store)
+    report = fuzz_run(
+        seed=args.seed, programs=args.programs, max_ops=args.max_ops,
+        jobs=_parse_jobs(args.jobs), store=store, corpus_root=corpus_root,
+        timing=not args.no_timing, rounds=args.rounds, weaken=args.weaken)
+    print(f"fuzz run: seed {report['seed']}, "
+          f"{report['programs']} scenarios "
+          f"({report['distinct_programs']} distinct, "
+          f"{report['ops_total']} ops)"
+          + (f", weakened: {args.weaken}" if args.weaken else ""))
+    controls = report["controls_cyclic"]
+    print(f"controls (expected-violating): "
+          + ", ".join(f"{m} cyclic on {n}" for m, n in controls.items()))
+    if report["timing"] is not None:
+        stale = report["timing"]["stale_reads"] or {}
+        print("timing stale reads: "
+              + ", ".join(f"{m}={stale[m]}" for m in stale))
+    print(f"{report['clean_programs']} scenarios clean, "
+          f"{report['corpus_added']} banked to corpus, "
+          f"{len(report['violations'])} violations")
+    for violation in report["violations"]:
+        print(f"VIOLATION {violation['invariant']} under "
+              f"{violation['model']}: shrunk to {violation['op_count']} "
+              f"ops ({violation['shrink_checks']} checks), program "
+              f"{json.dumps(violation['program']['threads'])}")
+    if corpus_root is not None and report["violations"]:
+        print(f"minimal repros under {corpus_root}/fuzz/repros/")
+    print(f"report digest: {report['digest']}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report {args.output}")
+    return 1 if report["violations"] else 0
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.harness import replay_corpus
+
+    store = _store_from_args(args)
+    root = _fuzz_root(args, store)
+    if root is None:
+        raise SystemExit("no corpus selected: pass --store DIR, "
+                         "--artifacts DIR or set $REPRO_STORE")
+    report = replay_corpus(root, jobs=_parse_jobs(args.jobs), store=store,
+                           timing=not args.no_timing)
+    if not report["entries"]:
+        print(f"corpus under {root}/fuzz/corpus is empty")
+        return 0
+    mismatches = report["mismatches"]
+    for digest, lines in mismatches.items():
+        for line in lines:
+            print(f"MISMATCH {digest}: {line}")
+    print(f"replayed {report['entries']} corpus entries: "
+          f"{len(mismatches)} mismatched")
+    return 1 if mismatches else 0
+
+
+def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.fuzz.corpus import FuzzCorpus
+    from repro.fuzz.program import FuzzProgram
+
+    store = _store_from_args(args)
+    root = _fuzz_root(args, store)
+    if root is None:
+        raise SystemExit("no corpus selected: pass --store DIR, "
+                         "--artifacts DIR or set $REPRO_STORE")
+    corpus = FuzzCorpus(root)
+    rows = []
+    for entry in corpus.entries():
+        program = FuzzProgram.from_dict(entry["program"])
+        timing = entry.get("timing_stale_reads")
+        rows.append([
+            entry["digest"], entry.get("seed", "?"),
+            len(program.threads), len(program.slots), program.op_count,
+            len(entry.get("fingerprints") or {}),
+            "yes" if timing is not None else "no",
+        ])
+    if rows:
+        print(format_table(
+            ["digest", "seed", "threads", "scopes", "ops", "legs",
+             "timing"],
+            rows, title=f"fuzz corpus ({corpus.corpus_dir})"))
+    else:
+        print(f"corpus under {corpus.corpus_dir} is empty")
+    repros = list(corpus.repros())
+    for repro in repros:
+        print(f"repro {repro['digest']}: {repro['invariant']} under "
+              f"{repro['model']}, {repro['op_count']} ops "
+              f"(seed {repro.get('seed', '?')})")
+    print(f"{len(rows)} corpus entries, {len(repros)} minimal repros")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    return {
+        "run": _cmd_fuzz_run,
+        "replay": _cmd_fuzz_replay,
+        "corpus": _cmd_fuzz_corpus,
+    }[args.fuzz_command](args)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -671,6 +877,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "queue":
         return _cmd_queue(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_run(args)
 
 

@@ -449,6 +449,21 @@ class ResultStore:
                 problems.append((path, "entry at wrong address"))
         return problems
 
+    def quarantined(self) -> List[str]:
+        """Filenames sitting in ``<root>/quarantine/``, sorted.
+
+        Reads self-heal corrupt entries by moving them here (so the
+        address repairs on the next write-back), which is deliberately
+        quiet at read time; ``repro-bench store verify`` surfaces the
+        backlog loudly and exits nonzero until an operator inspects and
+        clears the directory.
+        """
+        quarantine = os.path.join(self.root, QUARANTINE_DIR)
+        if not os.path.isdir(quarantine):
+            return []
+        return sorted(f for f in os.listdir(quarantine)
+                      if f.endswith(".json"))
+
     def prune_candidates(self, max_age_days: Optional[float] = None,
                          stale: bool = False,
                          now: Optional[float] = None,

@@ -1031,6 +1031,73 @@ def _mlp_ablation_campaign() -> Campaign:
     )
 
 
+#: Root seed of the registered ``litmus-fuzz`` campaign: the generated
+#: scenarios are a pure function of this, so the campaign's point set --
+#: and therefore its result digests -- are stable across sessions.
+FUZZ_CAMPAIGN_SEED = 2023
+
+#: Scenario count of the registered ``litmus-fuzz`` campaign.
+FUZZ_CAMPAIGN_PROGRAMS = 4
+
+
+def _litmus_fuzz_campaign() -> Campaign:
+    from repro.fuzz.generate import generate_batch
+
+    batch = generate_batch(seed=FUZZ_CAMPAIGN_SEED,
+                           count=FUZZ_CAMPAIGN_PROGRAMS)
+    fuzz = Sweep(
+        name="fuzz",
+        base={
+            "workload": "litmus-fuzz",
+            "params": {"spec": {}, "rounds": 2},
+            "config": {"preset": "scaled", "num_scopes": 2},
+            "max_events": 50_000_000,
+        },
+        axes=(
+            Axis("model", SIX_MODELS),
+            Axis("scenario", tuple(p.digest()[:8] for p in batch),
+                 path="variant"),
+            Axis("spec", tuple(p.to_dict() for p in batch),
+                 path="params.spec", hidden=True),
+        ),
+        zip_groups=(("scenario", "spec"),),
+    )
+    return Campaign(
+        name="litmus-fuzz",
+        title="Generated litmus scenarios across the six models",
+        description=(
+            f"{FUZZ_CAMPAIGN_PROGRAMS} generated litmus scenarios "
+            f"(fixed seed {FUZZ_CAMPAIGN_SEED}, named by program "
+            "digest) swept across the six consistency models on the "
+            "timing simulator.  The stale-read pivot is the simulator "
+            "half of the differential fuzzing invariant: every "
+            "correctness-guaranteeing model must show zero stale "
+            "PIM-result reads on every scenario, while the Naive and "
+            "SW-Flush baselines are the known-violating controls.  "
+            "This campaign is the pinned, report-friendly slice of the "
+            "wider loop: `repro-bench fuzz run --store DIR` checks "
+            "fresh batches against the abstract model checkers "
+            "(strength-lattice monotonicity, happens-before "
+            "acyclicity), shrinks any violation to a minimal JSON "
+            "repro under DIR/fuzz/repros/, and banks surviving "
+            "scenarios with their outcome fingerprints in the "
+            "DIR/fuzz/corpus/ regression corpus, which `repro-bench "
+            "fuzz replay --store DIR` re-checks -- CI runs the replay "
+            "plus a fixed-seed fuzz gate on every push and a long "
+            "corpus-growing leg in the weekly full sweep."
+        ),
+        sweeps=(fuzz,),
+        pivots=(
+            Pivot(title="Stale PIM-result reads by model (zero expected "
+                        "on correct models)",
+                  sweep="fuzz", x="scenario", split_by="model",
+                  value="stale_reads"),
+            Pivot(title="Scenario run time by model",
+                  sweep="fuzz", x="scenario", split_by="model"),
+        ),
+    )
+
+
 #: Registered campaigns: name -> zero-argument factory.
 CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke_campaign,
@@ -1038,6 +1105,7 @@ CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "paper-grid": _paper_grid_campaign,
     "geometry-ablation": _geometry_ablation_campaign,
     "mlp-ablation": _mlp_ablation_campaign,
+    "litmus-fuzz": _litmus_fuzz_campaign,
 }
 
 

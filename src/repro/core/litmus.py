@@ -26,9 +26,21 @@ values and the PIM op applies a per-address function to memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.memops import MemOp, OpKind
+from repro.core.models import ConsistencyModel, properties_of
 
 #: A PIM computation: address -> (old value -> new value).
 PimFunction = Callable[[int, int], int]
@@ -44,19 +56,43 @@ class LitmusProgram:
     #: Scope membership: the addresses a PIM op's scope covers.
     scope_addresses: FrozenSet[int]
     pim_function: PimFunction = field(default=lambda addr, v: v + 1)
+    #: Per-scope address sets as sorted ``(scope_id, addresses)`` pairs.
+    #: Empty means the single-scope legacy shape: every PIM op covers
+    #: ``scope_addresses`` regardless of its ``scope`` field.
+    scopes: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
 
     @classmethod
     def build(cls, threads: Sequence[Sequence[MemOp]],
-              scope_addresses: Iterable[int],
+              scope_addresses: Iterable[int] = (),
               prefetchable: Optional[Iterable[int]] = None,
-              pim_function: Optional[PimFunction] = None) -> "LitmusProgram":
-        scope = frozenset(scope_addresses)
+              pim_function: Optional[PimFunction] = None,
+              scopes: Optional[Mapping[int, Iterable[int]]] = None,
+              ) -> "LitmusProgram":
+        scope_map: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+        union = frozenset(scope_addresses)
+        if scopes is not None:
+            scope_map = tuple(
+                (sid, tuple(sorted(addrs)))
+                for sid, addrs in sorted(scopes.items())
+            )
+            union = union | frozenset(
+                a for _, addrs in scope_map for a in addrs)
         return cls(
             threads=tuple(tuple(t) for t in threads),
-            prefetchable=frozenset(prefetchable if prefetchable is not None else scope),
-            scope_addresses=scope,
+            prefetchable=frozenset(prefetchable if prefetchable is not None else union),
+            scope_addresses=union,
             pim_function=pim_function or (lambda addr, v: v + 1),
+            scopes=scope_map,
         )
+
+    def addresses_of(self, scope: Optional[int]) -> Tuple[int, ...]:
+        """The addresses a PIM op to ``scope`` covers."""
+        if self.scopes and scope is not None:
+            for sid, addrs in self.scopes:
+                if sid == scope:
+                    return addrs
+            return ()
+        return tuple(sorted(self.scope_addresses))
 
 
 class _State:
@@ -86,13 +122,17 @@ class LitmusExecutor:
             the cache untouched (the software-flush approach).
         prefetch_budget: bound on spontaneous cache fills per execution
             (keeps the state space finite; 2 suffices for Fig. 1).
+        uncacheable: scope addresses bypass the cache entirely (the
+            uncacheable-region baseline): loads and stores go straight
+            to memory, flushes are no-ops, the prefetcher skips them.
     """
 
     def __init__(self, program: LitmusProgram, flush_atomic: bool,
-                 prefetch_budget: int = 2) -> None:
+                 prefetch_budget: int = 2, uncacheable: bool = False) -> None:
         self.program = program
         self.flush_atomic = flush_atomic
         self.prefetch_budget = prefetch_budget
+        self.uncacheable = uncacheable
 
     # ------------------------------------------------------------------ #
 
@@ -146,34 +186,50 @@ class LitmusExecutor:
                 yield self._step_thread(state, tid, thread[pc])
         # Spontaneous prefetch (another thread / hardware prefetcher
         # pulling a line into the cache between any two steps).
-        if state.prefetches > 0:
-            cache = dict(state.cache)
-            for addr in sorted(self.program.prefetchable):
-                if addr not in cache:
-                    memory = dict(state.memory)
-                    new_cache = dict(cache)
-                    new_cache[addr] = memory.get(addr, 0)
-                    yield _State(
-                        state.pcs, state.memory, _freeze(new_cache),
-                        state.dirty, state.reads, state.prefetches - 1,
-                    )
+        yield from self._prefetch_successors(state)
 
-    def _step_thread(self, state: _State, tid: int, op: MemOp) -> _State:
-        memory = dict(state.memory)
+    def _prefetch_successors(self, state: _State):
+        if state.prefetches <= 0:
+            return
         cache = dict(state.cache)
-        dirty = set(state.dirty)
-        reads = state.reads
+        for addr in sorted(self.program.prefetchable):
+            if addr in cache:
+                continue
+            if self.uncacheable and addr in self.program.scope_addresses:
+                continue
+            memory = dict(state.memory)
+            new_cache = dict(cache)
+            new_cache[addr] = memory.get(addr, 0)
+            yield _State(
+                state.pcs, state.memory, _freeze(new_cache),
+                state.dirty, state.reads, state.prefetches - 1,
+            )
+
+    def _bypasses_cache(self, addr: Optional[int]) -> bool:
+        return self.uncacheable and addr in self.program.scope_addresses
+
+    def _exec_op(self, memory: Dict[int, int], cache: Dict[int, int],
+                 dirty: Set[int], reads, tid: int, op: MemOp):
+        """Apply one operation's memory effect; returns updated reads."""
         kind = op.kind
         if kind is OpKind.STORE:
-            cache[op.address] = op.value
-            dirty.add(op.address)
+            if self._bypasses_cache(op.address):
+                memory[op.address] = op.value
+            else:
+                cache[op.address] = op.value
+                dirty.add(op.address)
         elif kind is OpKind.LOAD:
-            if op.address in cache:
+            if self._bypasses_cache(op.address):
+                value = memory.get(op.address, 0)
+            elif op.address in cache:
                 value = cache[op.address]
             else:
                 value = memory.get(op.address, 0)
                 cache[op.address] = value  # loads allocate
-            reads = reads + ((tid, op.index, value),)
+            # Keep the accumulated reads sorted: outcomes are read *sets*
+            # (keyed by thread and op index), so states differing only in
+            # observation order merge in the visited set.
+            reads = tuple(sorted(reads + ((tid, op.index, value),)))
         elif kind is OpKind.FLUSH:
             if op.address in cache:
                 if op.address in dirty:
@@ -181,27 +237,96 @@ class LitmusExecutor:
                     dirty.discard(op.address)
                 del cache[op.address]
         elif kind is OpKind.PIM_OP:
+            scope_addrs = self.program.addresses_of(op.scope)
             if self.flush_atomic:
                 # The paper's mechanism: scope flush is atomic with the op.
-                for addr in self.program.scope_addresses:
+                for addr in scope_addrs:
                     if addr in cache:
                         if addr in dirty:
                             memory[addr] = cache[addr]
                             dirty.discard(addr)
                         del cache[addr]
-            for addr in self.program.scope_addresses:
+            for addr in scope_addrs:
                 memory[addr] = self.program.pim_function(addr, memory.get(addr, 0))
         elif kind.is_fence:
-            # Threads execute in program order in this abstract machine,
-            # so fences are ordering no-ops; they exist in programs for
-            # documentation and for the reordering-predicate tests.
+            # Fences order issue, never touch memory.  The in-order
+            # executor issues in program order so they are no-ops here;
+            # ModelExecutor enforces them through the reordering
+            # predicate before an op may issue at all.
             pass
         else:  # pragma: no cover - defensive
             raise ValueError(f"litmus cannot execute {kind}")
+        return reads
+
+    def _step_thread(self, state: _State, tid: int, op: MemOp) -> _State:
+        memory = dict(state.memory)
+        cache = dict(state.cache)
+        dirty = set(state.dirty)
+        reads = self._exec_op(memory, cache, dirty, state.reads, tid, op)
         pcs = tuple(
             pc + 1 if t == tid else pc for t, pc in enumerate(state.pcs)
         )
         return _State(pcs, _freeze(memory), _freeze(cache),
+                      frozenset(dirty), reads, state.prefetches)
+
+
+class ModelExecutor(LitmusExecutor):
+    """Model-aware litmus executor: Table-I reordering plus mechanism.
+
+    Extends the in-order abstract machine with out-of-order *issue*: a
+    thread may make operation ``j`` visible while earlier operations are
+    still pending whenever :meth:`ModelProperties.may_reorder` permits
+    ``j`` to pass every one of them.  The mechanism follows the model's
+    static properties -- the four proposed models flush the scope
+    atomically with the PIM op (``flushes_at_llc``), the uncacheable
+    baseline bypasses the cache for scope addresses, and the Naive /
+    SW-Flush baselines leave the cache alone.
+
+    Because :meth:`may_reorder` is monotone along the strength lattice
+    (atomic <= store <= scope <= scope-relaxed), the reachable outcome
+    sets of the proposed models are nested -- the invariant the fuzz
+    oracle checks differentially.
+    """
+
+    def __init__(self, program: LitmusProgram, model: ConsistencyModel,
+                 prefetch_budget: int = 2) -> None:
+        props = properties_of(model)
+        super().__init__(
+            program,
+            flush_atomic=props.flushes_at_llc,
+            prefetch_budget=prefetch_budget,
+            uncacheable=model is ConsistencyModel.UNCACHEABLE,
+        )
+        self.model = model
+        self.props = props
+
+    # In ModelExecutor states, ``pcs`` holds one *issued-set bitmask*
+    # per thread instead of a program counter: bit ``j`` set means the
+    # thread's j-th operation has become visible.
+
+    def _successors(self, state: _State):
+        for tid, mask in enumerate(state.pcs):
+            thread = self.program.threads[tid]
+            for j, op in enumerate(thread):
+                if mask >> j & 1:
+                    continue
+                if all(
+                    self.props.may_reorder(thread[i], op)
+                    for i in range(j) if not (mask >> i & 1)
+                ):
+                    yield self._issue(state, tid, j, op)
+        yield from self._prefetch_successors(state)
+
+    def _issue(self, state: _State, tid: int, index: int, op: MemOp) -> _State:
+        memory = dict(state.memory)
+        cache = dict(state.cache)
+        dirty = set(state.dirty)
+        reads = self._exec_op(memory, cache, dirty, state.reads, tid, op)
+        masks = tuple(
+            mask | (1 << index) if t == tid else mask
+            for t, mask in enumerate(state.pcs)
+        )
+        return _State(masks, _freeze(memory), _freeze(cache),
                       frozenset(dirty), reads, state.prefetches)
 
 

@@ -1,0 +1,56 @@
+"""Differential litmus fuzzing for the consistency-model stack.
+
+A seeded generator (:mod:`repro.fuzz.generate`) emits randomized litmus
+scenarios -- :class:`~repro.fuzz.program.FuzzProgram`: per-thread
+streams of stores, loads, flushes and PIM ops over shaped scopes -- in
+two synchronized forms: abstract renderings executed by the
+:mod:`repro.core.litmus` model checkers, and the ``litmus-fuzz`` timing
+workload compiled onto the full simulator.
+
+The oracle (:mod:`repro.fuzz.oracle`) holds three invariant families:
+
+1. **Lattice monotonicity** -- a stronger proposed model's outcome set
+   is a subset of every weaker one's (atomic <= store <= scope <=
+   scope-relaxed), under both in-order and model-reordering executors.
+2. **Coherence** -- under every correctness-guaranteeing model, no
+   outcome reads a stale pre-PIM value (value conservation) and the
+   per-outcome happens-before graph (:mod:`repro.core.ordering`) stays
+   acyclic.  The software-flush and naive baselines are the known-
+   violating controls that prove the oracle has teeth.
+3. **Simulator/checker agreement** -- the timing workload reports zero
+   stale PIM-result reads under exactly the models the checker calls
+   correct.
+
+Violations shrink to minimal repros (:mod:`repro.fuzz.shrink`) persisted
+as self-describing JSON; surviving programs enter a store-backed corpus
+(:mod:`repro.fuzz.corpus`) replayed as a regression suite.  The whole
+loop is :func:`repro.fuzz.harness.fuzz_run`, surfaced as ``repro-bench
+fuzz run|replay|corpus`` and the ``litmus-fuzz`` campaign.
+"""
+
+from repro.fuzz.corpus import FuzzCorpus, corpus_entry, replay_entry
+from repro.fuzz.generate import GeneratorKnobs, generate_batch, generate_program
+from repro.fuzz.harness import fuzz_run, replay_corpus
+from repro.fuzz.oracle import (Violation, check_coherence, check_lattice,
+                               check_program, fingerprints)
+from repro.fuzz.program import FuzzOp, FuzzProgram
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "FuzzCorpus",
+    "FuzzOp",
+    "FuzzProgram",
+    "GeneratorKnobs",
+    "Violation",
+    "check_coherence",
+    "check_lattice",
+    "check_program",
+    "corpus_entry",
+    "fingerprints",
+    "fuzz_run",
+    "generate_batch",
+    "generate_program",
+    "replay_corpus",
+    "replay_entry",
+    "shrink",
+]

@@ -1,0 +1,165 @@
+"""Seeded litmus-scenario generation.
+
+:func:`generate_program` draws one :class:`~repro.fuzz.program.FuzzProgram`
+from a ``random.Random`` stream; :func:`generate_batch` derives one
+independent stream per program index from a root seed, so batch N of
+seed S is identical on every machine, any backend, forever -- the
+property the CI fuzz gates and corpus replay rely on.
+
+The generator owes the oracle its structural rules (one PIM per scope,
+stores confined to the PIM thread before the PIM op, one store per
+address) and builds programs that satisfy them *by construction*:
+
+* every scope is owned by one thread; the owner emits a writer block
+  -- stores into the scope, optional fence, optional flushes (the
+  software-flush discipline, rendered only under SW-Flush), then the
+  scope's single PIM op;
+* every thread sprinkles observer loads around the writer blocks,
+  including pre-PIM loads that pull lines into the cache -- the raw
+  material of Fig. 1-style stale reads;
+* a knob-bounded op budget keeps the model checkers' state spaces small
+  enough for hundreds of programs per CI run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fuzz.program import FuzzOp, FuzzProgram, build_program
+
+__all__ = ["GeneratorKnobs", "generate_program", "generate_batch"]
+
+
+@dataclass(frozen=True)
+class GeneratorKnobs:
+    """Bounds on generated scenarios (all ranges inclusive).
+
+    The defaults keep the abstract state space tractable: the model
+    checkers enumerate every interleaving (and, for the lattice
+    invariant, every Table-I reordering), so op counts matter more than
+    thread counts.
+    """
+
+    threads: Tuple[int, int] = (2, 3)
+    scopes: Tuple[int, int] = (1, 2)
+    slots: Tuple[int, int] = (1, 2)
+    #: Observer loads attempted per thread.
+    loads: Tuple[int, int] = (1, 3)
+    #: Probability a scope's writer block stores to a given slot.
+    store_prob: float = 0.7
+    #: Probability a stored slot also gets an explicit flush op.
+    flush_prob: float = 0.6
+    #: Probability of a fence between a writer block's stores and PIM.
+    fence_prob: float = 0.5
+    #: Probability a scope gets a PIM op at all.
+    pim_prob: float = 0.9
+    prefetch: Tuple[int, int] = (1, 2)
+    #: Hard per-program op budget; loads are dropped to fit.
+    max_ops: int = 12
+
+    def bounded(self, max_ops: Optional[int]) -> "GeneratorKnobs":
+        """These knobs with a tighter op budget, if one is given."""
+        if max_ops is None or max_ops >= self.max_ops:
+            return self
+        return GeneratorKnobs(
+            threads=self.threads, scopes=self.scopes, slots=self.slots,
+            loads=self.loads, store_prob=self.store_prob,
+            flush_prob=self.flush_prob, fence_prob=self.fence_prob,
+            pim_prob=self.pim_prob, prefetch=self.prefetch,
+            max_ops=max_ops)
+
+
+def generate_program(rng: random.Random,
+                     knobs: GeneratorKnobs = GeneratorKnobs(),
+                     seed: int = 0) -> FuzzProgram:
+    """Draw one valid fuzz program from ``rng``."""
+    num_threads = rng.randint(*knobs.threads)
+    num_scopes = rng.randint(*knobs.scopes)
+    slots = tuple(rng.randint(*knobs.slots) for _ in range(num_scopes))
+    owners = [rng.randrange(num_threads) for _ in range(num_scopes)]
+
+    threads: List[List[FuzzOp]] = [[] for _ in range(num_threads)]
+
+    def observer_load(tid: int) -> FuzzOp:
+        scope = rng.randrange(num_scopes)
+        return FuzzOp("load", scope, rng.randrange(slots[scope]))
+
+    # Pre-block observer loads: they allocate lines in the shared cache,
+    # which is what makes post-PIM staleness reachable for the controls.
+    for tid in range(num_threads):
+        for _ in range(rng.randint(*knobs.loads)):
+            if rng.random() < 0.5:
+                threads[tid].append(observer_load(tid))
+
+    # Writer blocks, one per scope, in scope order on the owner thread.
+    # At least one scope gets a PIM op: a scenario without any checks
+    # nothing, so the last scope's block forces one if no roll landed.
+    any_pim = False
+    for scope in range(num_scopes):
+        owner = threads[owners[scope]]
+        stored = [index for index in range(slots[scope])
+                  if rng.random() < knobs.store_prob]
+        for index in stored:
+            owner.append(FuzzOp("store", scope, index))
+        if stored and rng.random() < knobs.fence_prob:
+            owner.append(FuzzOp("fence"))
+        for index in stored:
+            if rng.random() < knobs.flush_prob:
+                owner.append(FuzzOp("flush", scope, index))
+        if rng.random() < knobs.pim_prob \
+                or (scope == num_scopes - 1 and not any_pim):
+            owner.append(FuzzOp("pim", scope))
+            any_pim = True
+
+    # Post-block observer loads on every thread.
+    for tid in range(num_threads):
+        for _ in range(rng.randint(*knobs.loads)):
+            threads[tid].append(observer_load(tid))
+
+    # Enforce the op budget by dropping loads (deterministically: the
+    # rng picks which), never writer-block structure.
+    def op_count() -> int:
+        return sum(len(ops) for ops in threads)
+
+    while op_count() > knobs.max_ops:
+        candidates = [
+            (tid, pos)
+            for tid, ops in enumerate(threads)
+            for pos, op in enumerate(ops) if op.kind == "load"
+        ]
+        if not candidates:
+            break
+        tid, pos = candidates[rng.randrange(len(candidates))]
+        del threads[tid][pos]
+
+    return build_program(
+        threads, slots,
+        prefetch_budget=rng.randint(*knobs.prefetch),
+        seed=seed,
+    )
+
+
+def generate_batch(seed: int, count: int,
+                   knobs: GeneratorKnobs = GeneratorKnobs()
+                   ) -> List[FuzzProgram]:
+    """``count`` distinct programs from a root seed.
+
+    Program ``i`` draws from ``random.Random((seed, i))`` -- independent
+    of every other index, so a batch is stable under count changes and
+    trivially parallelizable.  Duplicate scenarios (same content digest)
+    are re-drawn from follow-up streams; the retry bound keeps the batch
+    deterministic even if the knobs collapse the scenario space.
+    """
+    programs: List[FuzzProgram] = []
+    seen = set()
+    for index in range(count):
+        for attempt in range(25):
+            rng = random.Random(f"{seed}:{index}:{attempt}")
+            program = generate_program(rng, knobs, seed=seed)
+            if program.digest() not in seen:
+                break
+        seen.add(program.digest())
+        programs.append(program)
+    return programs

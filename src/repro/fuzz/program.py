@@ -1,0 +1,320 @@
+"""Fuzz program descriptions: one litmus scenario, two synchronized forms.
+
+A :class:`FuzzProgram` is a pure-data description of a randomized litmus
+scenario -- per-thread op streams over scoped PIM addresses -- that
+renders into *both* executable forms the repo has:
+
+* an abstract :class:`~repro.core.litmus.LitmusProgram` for the
+  model checkers (:class:`~repro.core.litmus.LitmusExecutor` /
+  :class:`~repro.core.litmus.ModelExecutor`), via :meth:`rendering`;
+* a timing workload for the full simulator, via
+  :class:`repro.workloads.fuzz.FuzzLitmusWorkload` (which carries
+  ``FuzzProgram.to_dict()`` in its experiment params).
+
+Value encoding
+--------------
+
+The oracle needs to classify every observed read value without tracking
+interleavings.  Three structural rules make that possible, enforced by
+:meth:`validate` and preserved by the shrinker (which only deletes):
+
+1. at most one PIM op per scope in the whole program;
+2. every store to a PIM scope's addresses sits in the PIM-issuing
+   thread, program-before the PIM op;
+3. at most one store per address, with distinct values ``1..n`` where
+   ``n <`` :data:`VERSION_BUMP`.
+
+The abstract PIM function is ``v -> v + VERSION_BUMP``, so any observed
+value ``>= VERSION_BUMP`` is post-PIM and any smaller value pre-PIM --
+the generation bit the happens-before oracle (:mod:`repro.fuzz.oracle`)
+builds its reads-from / from-read edges on.
+
+Ops serialize as compact tokens (``store@0.1``, ``pim@0``, ``fence``) so
+a program description is small enough to embed in experiment params and
+corpus entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.litmus import LitmusProgram
+from repro.core.memops import MemOp, OpKind
+from repro.core.models import ConsistencyModel
+
+#: Schema tag of a serialized program description.
+PROGRAM_SCHEMA = "repro-fuzz-program/1"
+
+#: The abstract PIM function adds this to every scope address; store
+#: values stay below it, so ``value >= VERSION_BUMP`` identifies a
+#: post-PIM read.
+VERSION_BUMP = 1000
+
+_KINDS = ("load", "store", "flush", "pim", "fence")
+_ADDRESSED = ("load", "store", "flush")
+
+
+def fuzz_address(scope: int, index: int) -> int:
+    """The abstract-machine address of a scope's ``index``-th slot."""
+    return 0x1000 * (scope + 1) + 0x40 * index
+
+
+class FuzzOp(NamedTuple):
+    """One operation of a fuzz program (pure data)."""
+
+    kind: str
+    scope: int = -1
+    index: int = -1
+
+    def token(self) -> str:
+        if self.kind == "fence":
+            return "fence"
+        if self.kind == "pim":
+            return f"pim@{self.scope}"
+        return f"{self.kind}@{self.scope}.{self.index}"
+
+    @classmethod
+    def from_token(cls, token: str) -> "FuzzOp":
+        if token == "fence":
+            return cls("fence")
+        kind, sep, where = token.partition("@")
+        if not sep or kind not in _KINDS:
+            raise ValueError(f"bad fuzz op token {token!r}")
+        if kind == "pim":
+            return cls("pim", scope=int(where))
+        scope_text, sep, index_text = where.partition(".")
+        if not sep:
+            raise ValueError(f"bad fuzz op token {token!r}")
+        return cls(kind, scope=int(scope_text), index=int(index_text))
+
+
+class Rendering(NamedTuple):
+    """One abstract rendering of a fuzz program, plus oracle metadata."""
+
+    program: LitmusProgram
+    #: Rendered per-thread MemOp streams (``program.threads``).
+    threads: Tuple[Tuple[MemOp, ...], ...]
+    #: address -> (scope, slot index).
+    addr_info: Dict[int, Tuple[int, int]]
+    #: address -> the unique stored value (absent if never stored).
+    store_value: Dict[int, int]
+    #: address -> (thread, rendered op index) of its store.
+    store_site: Dict[int, Tuple[int, int]]
+    #: scope -> (thread, rendered op index) of its PIM op.
+    pim_site: Dict[int, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """A randomized litmus scenario as pure, JSON-able data.
+
+    Attributes:
+        threads: per-thread :class:`FuzzOp` streams.
+        slots: addresses per scope; position is the scope id.
+        prefetch_budget: spontaneous cache fills the abstract machine's
+            nondeterministic prefetcher may perform.
+        seed: the generator seed that produced this program (provenance
+            only; not part of the semantics).
+    """
+
+    threads: Tuple[Tuple[FuzzOp, ...], ...]
+    slots: Tuple[int, ...]
+    prefetch_budget: int = 1
+    seed: int = 0
+
+    # -- structural invariants ------------------------------------------- #
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the structural rules hold."""
+        if not self.threads:
+            raise ValueError("fuzz program has no threads")
+        if not self.slots or any(n < 1 for n in self.slots):
+            raise ValueError("every scope needs at least one address slot")
+        pim_seen: Dict[int, Tuple[int, int]] = {}
+        stores_seen: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for tid, ops in enumerate(self.threads):
+            for pos, op in enumerate(ops):
+                if op.kind not in _KINDS:
+                    raise ValueError(f"unknown op kind {op.kind!r}")
+                if op.kind == "fence":
+                    continue
+                if not 0 <= op.scope < len(self.slots):
+                    raise ValueError(
+                        f"op {op.token()} references scope {op.scope} "
+                        f"outside 0..{len(self.slots) - 1}")
+                if op.kind in _ADDRESSED:
+                    if not 0 <= op.index < self.slots[op.scope]:
+                        raise ValueError(
+                            f"op {op.token()} references slot {op.index} "
+                            f"outside scope {op.scope}'s "
+                            f"{self.slots[op.scope]} slots")
+                if op.kind == "pim":
+                    if op.scope in pim_seen:
+                        raise ValueError(
+                            f"scope {op.scope} has more than one PIM op")
+                    pim_seen[op.scope] = (tid, pos)
+                if op.kind == "store":
+                    key = (op.scope, op.index)
+                    if key in stores_seen:
+                        raise ValueError(
+                            f"slot s{op.scope}.{op.index} stored twice")
+                    stores_seen[key] = (tid, pos)
+        for (scope, index), (tid, pos) in sorted(stores_seen.items()):
+            site = pim_seen.get(scope)
+            if site is not None and (tid, pos) >= site:
+                raise ValueError(
+                    f"store to s{scope}.{index} at T{tid}.{pos} is not "
+                    f"program-before its scope's PIM op at "
+                    f"T{site[0]}.{site[1]}")
+        if len(stores_seen) >= VERSION_BUMP:
+            raise ValueError("too many stores for the value encoding")
+
+    # -- derived views ---------------------------------------------------- #
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(ops) for ops in self.threads)
+
+    def store_values(self) -> Dict[Tuple[int, int], int]:
+        """``(scope, slot) -> value`` for every store, values ``1..n``."""
+        values: Dict[Tuple[int, int], int] = {}
+        for ops in self.threads:
+            for op in ops:
+                if op.kind == "store":
+                    values[(op.scope, op.index)] = len(values) + 1
+        return values
+
+    def pim_scopes(self) -> Tuple[int, ...]:
+        """Scopes that have a PIM op, in id order."""
+        return tuple(sorted(
+            op.scope for ops in self.threads for op in ops
+            if op.kind == "pim"))
+
+    # -- serialization ---------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": PROGRAM_SCHEMA,
+            "seed": self.seed,
+            "slots": list(self.slots),
+            "prefetch": self.prefetch_budget,
+            "threads": [[op.token() for op in ops] for ops in self.threads],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FuzzProgram":
+        if data.get("schema") != PROGRAM_SCHEMA:
+            raise ValueError(
+                f"not a fuzz program (schema {data.get('schema')!r})")
+        program = cls(
+            threads=tuple(
+                tuple(FuzzOp.from_token(token) for token in ops)
+                for ops in data["threads"]
+            ),
+            slots=tuple(int(n) for n in data["slots"]),
+            prefetch_budget=int(data.get("prefetch", 1)),
+            seed=int(data.get("seed", 0)),
+        )
+        program.validate()
+        return program
+
+    def digest(self) -> str:
+        """A stable content digest of the scenario (seed excluded)."""
+        payload = dict(self.to_dict())
+        del payload["seed"]
+        text = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    # -- abstract renderings ---------------------------------------------- #
+
+    def rendering(self, model: Optional[ConsistencyModel] = None) -> Rendering:
+        """Render for the abstract machine under ``model``'s discipline.
+
+        ``None`` (the *bare* rendering, used for the lattice invariant
+        so the four proposed models execute an identical program) and
+        every model except the two below render the raw streams;
+        mirroring :class:`repro.workloads.base.ProgramEmitter`,
+
+        * ``SW_FLUSH`` additionally renders the program's ``flush`` ops
+          (dropped everywhere else -- they are the software-flush
+          discipline, not program content);
+        * ``SCOPE_RELAXED`` appends a scope-fence after each PIM op.
+        """
+        values = self.store_values()
+        threads: List[Tuple[MemOp, ...]] = []
+        addr_info: Dict[int, Tuple[int, int]] = {
+            fuzz_address(scope, index): (scope, index)
+            for scope in range(len(self.slots))
+            for index in range(self.slots[scope])
+        }
+        store_value: Dict[int, int] = {}
+        store_site: Dict[int, Tuple[int, int]] = {}
+        pim_site: Dict[int, Tuple[int, int]] = {}
+        for tid, ops in enumerate(self.threads):
+            rendered: List[MemOp] = []
+            for op in ops:
+                index = len(rendered)
+                if op.kind == "fence":
+                    rendered.append(MemOp(OpKind.MEM_FENCE, tid, index))
+                elif op.kind == "flush":
+                    if model is ConsistencyModel.SW_FLUSH:
+                        rendered.append(MemOp(
+                            OpKind.FLUSH, tid, index,
+                            address=fuzz_address(op.scope, op.index),
+                            scope=op.scope))
+                elif op.kind == "pim":
+                    rendered.append(MemOp(
+                        OpKind.PIM_OP, tid, index, scope=op.scope))
+                    pim_site[op.scope] = (tid, index)
+                    if model is ConsistencyModel.SCOPE_RELAXED:
+                        rendered.append(MemOp(
+                            OpKind.SCOPE_FENCE, tid, len(rendered),
+                            scope=op.scope))
+                elif op.kind == "store":
+                    addr = fuzz_address(op.scope, op.index)
+                    value = values[(op.scope, op.index)]
+                    rendered.append(MemOp(
+                        OpKind.STORE, tid, index, address=addr,
+                        scope=op.scope, value=value))
+                    store_value[addr] = value
+                    store_site[addr] = (tid, index)
+                else:  # load
+                    rendered.append(MemOp(
+                        OpKind.LOAD, tid, index,
+                        address=fuzz_address(op.scope, op.index),
+                        scope=op.scope))
+            threads.append(tuple(rendered))
+        program = LitmusProgram.build(
+            threads,
+            prefetchable=sorted(addr_info),
+            pim_function=lambda addr, v: v + VERSION_BUMP,
+            scopes={
+                scope: [fuzz_address(scope, index)
+                        for index in range(count)]
+                for scope, count in enumerate(self.slots)
+            },
+        )
+        return Rendering(
+            program=program,
+            threads=program.threads,
+            addr_info=addr_info,
+            store_value=store_value,
+            store_site=store_site,
+            pim_site=pim_site,
+        )
+
+
+def build_program(threads: Sequence[Sequence[FuzzOp]], slots: Sequence[int],
+                  prefetch_budget: int = 1, seed: int = 0) -> FuzzProgram:
+    """Construct and validate a :class:`FuzzProgram`."""
+    program = FuzzProgram(
+        threads=tuple(tuple(ops) for ops in threads),
+        slots=tuple(slots),
+        prefetch_budget=prefetch_budget,
+        seed=seed,
+    )
+    program.validate()
+    return program

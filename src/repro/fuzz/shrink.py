@@ -1,0 +1,125 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a program and a predicate that re-checks the violated invariant,
+:func:`shrink` greedily applies the smallest-step reductions the issue
+demands -- drop a thread, drop an op, shrink a scope's address slots,
+cut the prefetch budget -- keeping any reduction under which the failure
+still reproduces, until no reduction applies.  Reductions only ever
+*delete*, so every candidate preserves the structural rules
+:meth:`~repro.fuzz.program.FuzzProgram.validate` enforces (a scope that
+loses its PIM op merely loses its constraints); candidates are tried in
+a fixed order, so shrinking is as deterministic as the predicate.
+
+The result is the minimal repro persisted into the self-describing JSON
+artifact (:mod:`repro.fuzz.corpus`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from repro.fuzz.program import FuzzOp, FuzzProgram
+
+__all__ = ["shrink"]
+
+
+def _drop_scope(program: FuzzProgram, scope: int) -> FuzzProgram:
+    """Remove one unreferenced scope, renumbering the ones above it."""
+
+    def remap(op: FuzzOp) -> FuzzOp:
+        if op.kind == "fence" or op.scope < scope:
+            return op
+        return FuzzOp(op.kind, op.scope - 1, op.index)
+
+    return FuzzProgram(
+        threads=tuple(tuple(remap(op) for op in ops)
+                      for ops in program.threads),
+        slots=program.slots[:scope] + program.slots[scope + 1:],
+        prefetch_budget=program.prefetch_budget,
+        seed=program.seed,
+    )
+
+
+def _candidates(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    """Every one-step reduction, most aggressive first."""
+    # Drop a whole thread.
+    if len(program.threads) > 1:
+        for tid in range(len(program.threads)):
+            yield FuzzProgram(
+                threads=program.threads[:tid] + program.threads[tid + 1:],
+                slots=program.slots,
+                prefetch_budget=program.prefetch_budget,
+                seed=program.seed,
+            )
+    # Drop a whole scope nothing references any more.
+    if len(program.slots) > 1:
+        referenced = {op.scope for ops in program.threads for op in ops
+                      if op.kind != "fence"}
+        for scope in range(len(program.slots)):
+            if scope not in referenced:
+                yield _drop_scope(program, scope)
+    # Drop one op.
+    for tid, ops in enumerate(program.threads):
+        for pos in range(len(ops)):
+            yield FuzzProgram(
+                threads=(program.threads[:tid]
+                         + (ops[:pos] + ops[pos + 1:],)
+                         + program.threads[tid + 1:]),
+                slots=program.slots,
+                prefetch_budget=program.prefetch_budget,
+                seed=program.seed,
+            )
+    # Trim a scope's unused top slots.
+    used = {}
+    for ops in program.threads:
+        for op in ops:
+            if op.kind in ("load", "store", "flush"):
+                used[op.scope] = max(used.get(op.scope, 0), op.index + 1)
+    for scope, count in enumerate(program.slots):
+        need = used.get(scope, 1)
+        if count > need:
+            yield FuzzProgram(
+                threads=program.threads,
+                slots=(program.slots[:scope] + (need,)
+                       + program.slots[scope + 1:]),
+                prefetch_budget=program.prefetch_budget,
+                seed=program.seed,
+            )
+    # Cut the prefetch budget.
+    if program.prefetch_budget > 0:
+        yield FuzzProgram(
+            threads=program.threads,
+            slots=program.slots,
+            prefetch_budget=program.prefetch_budget - 1,
+            seed=program.seed,
+        )
+
+
+def shrink(program: FuzzProgram,
+           still_fails: Callable[[FuzzProgram], bool],
+           max_checks: int = 2000) -> Tuple[FuzzProgram, int]:
+    """Minimize ``program`` while ``still_fails`` holds.
+
+    Returns the fixed-point program and how many candidate checks ran.
+    ``max_checks`` bounds the work on pathological predicates; the
+    shrink restarts from the first candidate after every acceptance, so
+    the result is a local minimum under the one-step reductions.
+    """
+    checks = 0
+    current = program
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            try:
+                candidate.validate()
+            except ValueError:
+                continue
+            checks += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current, checks

@@ -297,6 +297,8 @@ class LastLevelCache(QueuedComponent):
 
     def _handle_pim_op(self, msg: Message) -> Union[bool, int]:
         if not self._head_scanned:
+            if self._scope_fetch_in_flight(msg.scope):
+                return 4
             self._head_scanned = True
             latency = self._scan_or_skip(msg.scope)
             if latency:
@@ -309,6 +311,8 @@ class LastLevelCache(QueuedComponent):
 
     def _handle_scope_fence(self, msg: Message) -> Union[bool, int]:
         if not self._head_scanned:
+            if self._scope_fetch_in_flight(msg.scope):
+                return 4
             self._head_scanned = True
             latency = self._scan_or_skip(msg.scope)
             if latency:
@@ -318,6 +322,24 @@ class LastLevelCache(QueuedComponent):
         # The scope-fence terminates at the LLC (Fig. 6d).
         self._respond(msg, MessageType.SCOPE_FENCE_ACK, 0)
         return True
+
+    def _scope_fetch_in_flight(self, scope: int) -> bool:
+        """Is a memory fetch for a line of ``scope`` still outstanding?
+
+        The scan/flush must cover such lines, but they are not in the
+        array yet -- their fill would re-install pre-PIM data *after*
+        the flush and serve it to post-flush readers (a stale-read
+        window a racing core opens; the issuing core itself drains its
+        same-scope accesses before a PIM op or fence).  The flush point
+        therefore stalls at the head of the queue until those fills
+        land; fills bypass the service queue, so the wait always
+        terminates, and no new fetch can slip in past the blocked head.
+        """
+        scope_id_of = self.scope_map.scope_id_of
+        for line_addr in self._mshrs:
+            if scope_id_of(line_addr) == scope:
+                return True
+        return False
 
     def _scan_or_skip(self, scope: int) -> int:
         """Scope-buffer lookup; on miss, scan+flush and return the latency.

@@ -10,9 +10,11 @@
   their scope counts and PIM-section types.
 * :mod:`repro.workloads.litmus` -- the Fig. 1 pattern as a timing
   workload.
+* :mod:`repro.workloads.fuzz` -- generated litmus scenarios
+  (:mod:`repro.fuzz`) as timing workloads.
 
 Importing this package registers the built-in workloads (``ycsb``,
-``tpch``, ``litmus``) with :mod:`repro.api`'s registry.
+``tpch``, ``litmus``, ``litmus-fuzz``) with :mod:`repro.api`'s registry.
 """
 
 from repro.workloads.base import Workload
@@ -20,6 +22,7 @@ from repro.workloads.zipf import ZipfianGenerator
 from repro.workloads.ycsb import YcsbParams, YcsbWorkload
 from repro.workloads.tpch import TPCH_QUERIES, TpchQuerySpec, TpchWorkload
 from repro.workloads.litmus import LitmusWorkload
+from repro.workloads.fuzz import FuzzLitmusWorkload
 
 __all__ = [
     "Workload",
@@ -30,4 +33,5 @@ __all__ = [
     "TpchQuerySpec",
     "TpchWorkload",
     "LitmusWorkload",
+    "FuzzLitmusWorkload",
 ]

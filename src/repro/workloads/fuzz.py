@@ -1,0 +1,126 @@
+"""Generated litmus scenarios as runnable timing workloads.
+
+The second synchronized form of a :class:`~repro.fuzz.program.FuzzProgram`
+(the first is the abstract rendering the model checkers execute): the
+same per-thread op streams compiled onto the full timing simulator
+through :class:`~repro.workloads.base.ProgramEmitter`, which inserts the
+active model's discipline -- SW-Flush clflushes, scope-relaxed
+scope-fences, uncacheable bypass flags -- exactly as the hand-written
+``litmus`` workload does.
+
+Mapping rules:
+
+* scope ``s``, slot ``i`` lands on line ``scope(s).base + i *
+  line_bytes``; every slot of a PIM scope is registered as a PIM result
+  line, so the scope's PIM op bumps their versions (matching the
+  abstract machine, whose PIM function rewrites every scope address);
+* ``flush`` ops accumulate into the owning PIM op's ``sw_flush_lines``
+  (the emitter renders them only under SW-Flush); flushes in a scope
+  with no PIM op are dropped -- pure software-flush discipline with
+  nothing to order against;
+* a load expects the PIM version *its own thread* has issued program-
+  order-before it (cross-thread counts carry no ordering guarantee, so
+  expecting them would flag correct executions).  Under every
+  correctness-guaranteeing model these expectations hold -- the
+  simulator/checker-agreement invariant the fuzz harness gates on --
+  while Naive re-serves pre-PIM lines cached by earlier loads and
+  reports stale reads.
+
+``rounds`` replays the whole scenario; expectations accumulate across
+rounds (round ``r``'s post-PIM reads expect version ``r``).  The
+abstract form corresponds to ``rounds=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.api.registry import register_workload
+from repro.fuzz.program import FuzzProgram
+from repro.host.program import ThreadProgram
+from repro.system.builder import System
+from repro.workloads.base import ProgramEmitter, Workload
+
+
+@register_workload
+class FuzzLitmusWorkload(Workload):
+    """One generated litmus scenario on the timing stack.
+
+    Args:
+        spec: a :meth:`FuzzProgram.to_dict` document (validated on
+            construction, so a bad spec fails before any simulation).
+        rounds: whole-scenario repetitions.
+    """
+
+    name = "litmus-fuzz"
+
+    def __init__(self, spec: Mapping[str, object], rounds: int = 1) -> None:
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.fuzz_program = FuzzProgram.from_dict(spec)
+        self.spec = self.fuzz_program.to_dict()
+        self.rounds = rounds
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return {"spec": self.spec, "rounds": self.rounds}
+
+    def compile(self, system: System) -> List[ThreadProgram]:
+        program = self.fuzz_program
+        num_scopes = len(program.slots)
+        if system.config.num_scopes < num_scopes:
+            raise ValueError(
+                f"litmus-fuzz program uses {num_scopes} scopes; the "
+                f"system has {system.config.num_scopes}")
+        line_bytes = system.config.llc.line_bytes
+        for scope_id, slots in enumerate(program.slots):
+            scope = system.scope_map.scope(scope_id)
+            if slots * line_bytes > scope.size:
+                raise ValueError(
+                    f"scope {scope_id} needs {slots} line slots; "
+                    f"{scope.size} bytes hold "
+                    f"{scope.size // line_bytes}")
+
+        def line(scope_id: int, index: int) -> int:
+            return system.scope_map.scope(scope_id).base + index * line_bytes
+
+        for scope_id in program.pim_scopes():
+            system.register_pim_result_lines(
+                scope_id,
+                [line(scope_id, index)
+                 for index in range(program.slots[scope_id])])
+
+        counts: Dict[int, int] = {}
+        emitters = [
+            ProgramEmitter(system, f"litmus-fuzz.t{tid}", counts)
+            for tid in range(len(program.threads))
+        ]
+        #: PIM versions each thread has itself issued, per scope.
+        own_counts: List[Dict[int, int]] = [
+            {} for _ in range(len(program.threads))
+        ]
+        for _ in range(self.rounds):
+            for tid, ops in enumerate(program.threads):
+                em = emitters[tid]
+                pending_flushes: Dict[int, List[int]] = {}
+                for op in ops:
+                    if op.kind == "load":
+                        em.load(line(op.scope, op.index),
+                                expect_version=own_counts[tid].get(
+                                    op.scope, 0))
+                    elif op.kind == "store":
+                        em.store(line(op.scope, op.index))
+                    elif op.kind == "flush":
+                        pending_flushes.setdefault(op.scope, []).append(
+                            line(op.scope, op.index))
+                    elif op.kind == "fence":
+                        em.mem_fence()
+                    else:  # pim
+                        em.pim_group(
+                            op.scope, 1,
+                            sw_flush_lines=pending_flushes.pop(
+                                op.scope, []))
+                        own_counts[tid][op.scope] = counts[op.scope]
+        for em in emitters:
+            em.barrier()  # join: run time is the slowest thread's finish
+        return [em.program for em in emitters]

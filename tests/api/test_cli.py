@@ -189,3 +189,76 @@ def test_store_prune_by_fingerprint_cli(tmp_path, capsys):
     assert main(["store", "prune", "--store", str(tmp_path),
                  "--fingerprint", "old-kernel"]) == 0
     assert "pruned 1 entries" in capsys.readouterr().out
+
+
+def test_queue_status_json_is_machine_readable(tmp_path, capsys):
+    import json
+
+    assert main(["queue", "status", "--store", str(tmp_path),
+                 "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_store_verify_lists_quarantined_entries(tmp_path, capsys):
+    """A quarantined entry makes `store verify` exit nonzero and name
+    the file, even though the addressable tree itself is clean."""
+    import json
+    import os
+
+    from repro.api.experiment import Experiment
+    from repro.api.runner import Runner
+    from repro.api.store import ResultStore
+
+    store = ResultStore(str(tmp_path))
+    exp = Experiment.from_dict({
+        "workload": "litmus", "params": {"rounds": 1, "threads": 2},
+        "config": {"preset": "scaled", "model": "atomic", "num_scopes": 2},
+    })
+    Runner(store=store).run_all([exp])
+    assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+
+    path = next(iter(store.paths()))
+    entry = json.loads(open(path).read())
+    entry["result"]["run_time"] += 1
+    open(path, "w").write(json.dumps(entry))
+    assert store.get(exp.spec_hash()) is None  # corrupt read quarantines
+
+    capsys.readouterr()
+    assert main(["store", "verify", "--store", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"QUARANTINED {os.path.basename(path)}" in out
+    assert "quarantine" in out
+
+    # Clearing the quarantine restores the zero exit.
+    import shutil
+    shutil.rmtree(os.path.join(str(tmp_path), "quarantine"))
+    assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+
+
+def test_fuzz_cli_run_replay_corpus_round_trip(tmp_path, capsys):
+    import json
+
+    store = str(tmp_path / "store")
+    report_file = str(tmp_path / "report.json")
+    assert main(["fuzz", "run", "--seed", "5", "--programs", "2",
+                 "--store", store, "--output", report_file]) == 0
+    out = capsys.readouterr().out
+    assert "0 violations" in out and "2 banked to corpus" in out
+    report = json.load(open(report_file))
+    assert report["schema"] == "repro-fuzz-report/1"
+    assert report["violations"] == []
+
+    assert main(["fuzz", "replay", "--store", store]) == 0
+    assert "0 mismatched" in capsys.readouterr().out
+
+    assert main(["fuzz", "corpus", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "2 corpus entries, 0 minimal repros" in out
+
+
+def test_fuzz_cli_weakened_self_test_exits_nonzero(tmp_path, capsys):
+    assert main(["fuzz", "run", "--seed", "5", "--programs", "2",
+                 "--no-timing", "--no-corpus",
+                 "--weaken", "no-atomic-flush"]) == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out

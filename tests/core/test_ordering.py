@@ -39,6 +39,52 @@ def test_long_cycle_detected():
     assert "a" not in members
 
 
+def test_multiple_disjoint_cycles_each_detectable():
+    """With two independent cycles, find_cycle returns a real one, and
+    the graph stays inconsistent until *both* are gone."""
+    hb = HappensBefore()
+    hb.add("a", "b")
+    hb.add("b", "a")
+    hb.add("x", "y")
+    hb.add("y", "x")
+    cycle = hb.find_cycle()
+    assert cycle is not None and cycle[0] == cycle[-1]
+    members = set(cycle)
+    assert members <= {"a", "b"} or members <= {"x", "y"}
+
+    # Removing one cycle by rebuilding without it still flags the other.
+    rest = HappensBefore()
+    for src, dst, label in hb.edges():
+        if {src, dst} != set(members):
+            rest.add(src, dst, label)
+    other = rest.find_cycle()
+    assert other is not None
+    assert set(other).isdisjoint(members)
+
+
+def test_overlapping_cycles_share_a_node():
+    """Two cycles through one shared node: the reported cycle must be a
+    genuine closed walk along recorded edges."""
+    hb = HappensBefore()
+    hb.add_chain(["a", "b", "a"])   # cycle 1: a-b
+    hb.add_chain(["a", "c", "a"])   # cycle 2: a-c, sharing a
+    cycle = hb.find_cycle()
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    edges = {(src, dst) for src, dst, _ in hb.edges()}
+    for src, dst in zip(cycle, cycle[1:]):
+        assert (src, dst) in edges
+
+
+def test_self_loop_is_a_cycle():
+    hb = HappensBefore()
+    hb.add("n", "n")
+    cycle = hb.find_cycle()
+    assert cycle is not None
+    assert set(cycle) == {"n"}
+    assert not hb.is_consistent
+
+
 def test_edges_carry_labels():
     hb = HappensBefore()
     hb.add("x", "y", "why")

@@ -1,0 +1,95 @@
+"""FuzzProgram structure: validation, serialization, renderings."""
+
+import pytest
+
+from repro.core.models import ConsistencyModel
+from repro.fuzz.program import FuzzOp, FuzzProgram, fuzz_address
+
+
+def _program(threads, slots=(2,), prefetch=1):
+    return FuzzProgram(
+        threads=tuple(tuple(ops) for ops in threads),
+        slots=tuple(slots),
+        prefetch_budget=prefetch,
+        seed=3,
+    )
+
+
+PIM0 = FuzzOp("pim", 0)
+LOAD00 = FuzzOp("load", 0, 0)
+STORE00 = FuzzOp("store", 0, 0)
+
+
+def test_round_trip_preserves_program_and_digest():
+    program = _program([[STORE00, FuzzOp("flush", 0, 0), PIM0],
+                        [LOAD00, FuzzOp("fence"), FuzzOp("load", 0, 1)]])
+    program.validate()
+    clone = FuzzProgram.from_dict(program.to_dict())
+    assert clone == program
+    assert clone.digest() == program.digest()
+
+
+def test_digest_ignores_seed_but_not_structure():
+    a = _program([[PIM0, LOAD00]])
+    b = FuzzProgram(threads=a.threads, slots=a.slots,
+                    prefetch_budget=a.prefetch_budget, seed=99)
+    assert a.digest() == b.digest()
+    c = _program([[PIM0, FuzzOp("load", 0, 1)]])
+    assert a.digest() != c.digest()
+
+
+def test_validate_rejects_two_pims_per_scope():
+    with pytest.raises(ValueError, match="PIM"):
+        _program([[PIM0, PIM0]]).validate()
+
+
+def test_validate_rejects_foreign_store_to_pim_scope():
+    # Thread 1 stores into scope 0, whose PIM op lives on thread 0.
+    with pytest.raises(ValueError):
+        _program([[PIM0], [STORE00]]).validate()
+
+
+def test_validate_rejects_store_after_pim():
+    with pytest.raises(ValueError):
+        _program([[PIM0, STORE00]]).validate()
+
+
+def test_validate_rejects_duplicate_store_address():
+    with pytest.raises(ValueError):
+        _program([[STORE00, STORE00, PIM0]]).validate()
+
+
+def test_validate_rejects_out_of_range_references():
+    with pytest.raises(ValueError):
+        _program([[FuzzOp("load", 1, 0)]], slots=(1,)).validate()
+    with pytest.raises(ValueError):
+        _program([[FuzzOp("load", 0, 5)]], slots=(2,)).validate()
+
+
+def test_store_values_are_unique_and_ordered():
+    program = _program(
+        [[STORE00, FuzzOp("store", 0, 1), PIM0]], slots=(2,))
+    values = program.store_values()
+    assert sorted(values.values()) == [1, 2]
+
+
+def test_renderings_differ_only_where_the_mechanism_does():
+    program = _program([[STORE00, FuzzOp("flush", 0, 0), PIM0, LOAD00]])
+    program.validate()
+    bare = program.rendering(ConsistencyModel.ATOMIC)
+    swf = program.rendering(ConsistencyModel.SW_FLUSH)
+    relaxed = program.rendering(ConsistencyModel.SCOPE_RELAXED)
+    kinds = lambda r: [op.kind.name for op in r.threads[0]]
+    assert "FLUSH" not in kinds(bare)
+    assert "FLUSH" in kinds(swf)
+    assert kinds(relaxed)[kinds(relaxed).index("PIM_OP") + 1] \
+        == "SCOPE_FENCE"
+
+
+def test_fuzz_addresses_are_disjoint_across_scopes():
+    seen = set()
+    for scope in range(3):
+        for index in range(4):
+            addr = fuzz_address(scope, index)
+            assert addr not in seen
+            seen.add(addr)

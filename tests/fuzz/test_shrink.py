@@ -1,0 +1,39 @@
+"""The delta-debugging shrinker: minimal repros stay failing and valid."""
+
+from repro.core.models import ConsistencyModel
+from repro.fuzz.generate import generate_batch
+from repro.fuzz.oracle import check_coherence
+from repro.fuzz.shrink import shrink
+
+
+def _weakened_fails(program):
+    return bool(check_coherence(program, ConsistencyModel.ATOMIC,
+                                weaken="no-atomic-flush"))
+
+
+def test_shrunk_repro_is_small_still_failing_and_valid():
+    candidates = [p for p in generate_batch(seed=42, count=4)
+                  if _weakened_fails(p)]
+    assert candidates, "seed batch produced no weakened violation"
+    for program in candidates:
+        shrunk, checks = shrink(program, _weakened_fails)
+        shrunk.validate()
+        assert _weakened_fails(shrunk)
+        assert shrunk.op_count <= 8, shrunk.to_dict()
+        assert shrunk.op_count <= program.op_count
+        assert checks > 0
+
+
+def test_shrink_is_deterministic():
+    program = next(p for p in generate_batch(seed=42, count=4)
+                   if _weakened_fails(p))
+    a, _ = shrink(program, _weakened_fails)
+    b, _ = shrink(program, _weakened_fails)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_shrink_respects_the_check_budget():
+    program = next(p for p in generate_batch(seed=42, count=4)
+                   if _weakened_fails(p))
+    _, checks = shrink(program, _weakened_fails, max_checks=3)
+    assert checks <= 3

@@ -1,0 +1,53 @@
+"""The flush-point vs in-flight-fetch race (first fuzzer-found bug).
+
+Shrunk repro from ``repro-bench fuzz run --seed 99``: thread 0 issues a
+bare load of a scope line while thread 1 runs PIM -> (fence) -> load.
+Thread 0's fetch is served at memory *before* the PIM op bumps the
+version; its fill then lands after the flush scan ran, re-installing the
+pre-PIM line -- and thread 1's post-flush load (which must observe the
+PIM result under every correctness-guaranteeing model) either hits that
+stale line or coalesces onto the stale in-flight MSHR.  The LLC now
+stalls the flush point until in-flight same-scope fetches drain.
+"""
+
+import pytest
+
+from repro.api import Runner
+from repro.fuzz.harness import timing_experiment
+from repro.fuzz.program import FuzzOp, build_program
+
+#: The shrunk repro: the racing reader plus the PIM-then-read thread.
+RACER = build_program(
+    threads=[
+        [FuzzOp("load", 0, 0)],
+        [FuzzOp("pim", 0), FuzzOp("load", 0, 0)],
+    ],
+    slots=[1],
+)
+
+#: Same race, opposite arrival order: the fence delays thread 1's PIM op
+#: past thread 0's fetch at the memory controller, the adversarial
+#: interleaving for the models that flush when the PIM op passes the LLC.
+RACER_DELAYED = build_program(
+    threads=[
+        [FuzzOp("load", 0, 0)],
+        [FuzzOp("fence"), FuzzOp("pim", 0), FuzzOp("load", 0, 0)],
+    ],
+    slots=[1],
+)
+
+
+@pytest.mark.parametrize("model", ["atomic", "store", "scope",
+                                   "scope-relaxed"])
+@pytest.mark.parametrize("program", [RACER, RACER_DELAYED],
+                         ids=["pim-first", "fetch-first"])
+def test_racing_fetch_never_serves_stale_pim_results(model, program):
+    result = Runner().run(timing_experiment(program, model, rounds=2))
+    assert result.stale_reads == 0
+
+
+@pytest.mark.parametrize("model", ["naive", "sw-flush"])
+def test_baselines_still_expose_the_race(model):
+    """The controls keep their stale window -- the oracle's signal."""
+    result = Runner().run(timing_experiment(RACER, model, rounds=2))
+    assert result.stale_reads > 0

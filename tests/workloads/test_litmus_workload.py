@@ -1,0 +1,21 @@
+"""The hand-written Fig. 1 litmus timing workload's validation paths."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.system.builder import System
+from repro.workloads.litmus import LitmusWorkload
+
+
+def test_compile_requires_one_scope_per_thread():
+    workload = LitmusWorkload(rounds=1, threads=4)
+    system = System(SystemConfig.scaled_default(num_scopes=2))
+    with pytest.raises(ValueError, match="one scope per thread"):
+        workload.compile(system)
+
+
+def test_compile_accepts_exactly_matching_scopes():
+    workload = LitmusWorkload(rounds=1, threads=2)
+    system = System(SystemConfig.scaled_default(num_scopes=2))
+    programs = workload.compile(system)
+    assert len(programs) == 2
