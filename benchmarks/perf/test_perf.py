@@ -49,6 +49,13 @@ def mshr_record():
 
 
 @pytest.fixture(scope="module")
+def openloop_record():
+    """ycsb-c driven open-loop near the knee: the admission-queue path
+    (ARRIVE markers, arrival catch-up, settle) plus traffic stats."""
+    return perf.run_suite(("ycsb-c-openloop",), repeats=2)
+
+
+@pytest.fixture(scope="module")
 def bench_file():
     with open(BENCH_PATH) as fh:
         return json.load(fh)
@@ -134,6 +141,24 @@ def test_mshr_bookkeeping_overhead_is_bounded(quick_record, mshr_record):
         f"MSHR bookkeeping costs more than 20% of the hit path: "
         f"{explicit:,} ev/s vs {silent:,} ev/s silent-default"
     )
+
+
+def test_openloop_config_matches_checked_in_digest(openloop_record,
+                                                   bench_file):
+    """The open-loop twin of ycsb-c is digest-pinned like every other
+    config.  Unlike the MSHR twin it simulates *different* behavior
+    (arrivals pace the requests, so run time and event count differ from
+    closed-loop ycsb-c), but the digest pins the whole traffic stats
+    group: latency percentiles, queue depths and admission accounting
+    cannot drift silently."""
+    cur = openloop_record["configs"]["ycsb-c-openloop"]
+    base = bench_file["configs"]["ycsb-c-openloop"]
+    assert cur["stats_sha256"] == base["stats_sha256"], (
+        "ycsb-c-openloop: simulation results diverged from "
+        "BENCH_kernel.json"
+    )
+    assert cur["events"] == base["events"]
+    assert cur["run_time"] == base["run_time"]
 
 
 @pytest.mark.skipif(os.environ.get("REPRO_PERF_STRICT") != "1",

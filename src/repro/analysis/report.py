@@ -47,6 +47,32 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
+def latency_table(result):
+    """``(headers, rows)`` of open-loop latency stats, or ``None``.
+
+    One row per campaign point that carries a merged ``traffic`` stats
+    group (open-loop runs only): arrival-to-settle percentiles, the
+    extremes, and the admission accounting.  ``None`` when no point ran
+    open-loop, so closed-loop reports are unchanged.
+    """
+    rows = []
+    for p in result.ok_points:
+        t = p.result.group("traffic")
+        if not t:
+            continue
+        rows.append([
+            p.name, int(t.req_offered), int(t.req_admitted),
+            int(t.req_dropped), int(t.latency_p50), int(t.latency_p99),
+            int(t.latency_p999), int(t.latency_max),
+            int(t.queue_depth_max),
+        ])
+    if not rows:
+        return None
+    headers = ["point", "offered", "admitted", "dropped", "p50", "p99",
+               "p999", "max", "peak_queue"]
+    return headers, rows
+
+
 def campaign_markdown(result) -> str:
     """Render a :class:`~repro.api.sweep.CampaignResult` as Markdown.
 
@@ -69,12 +95,22 @@ def campaign_markdown(result) -> str:
         f"{campaign.name} --report <file>`",
         "",
     ]
+    if campaign.slo is not None:
+        headers, rows = result.slo_table(campaign.slo)
+        if rows:
+            lines += [f"## {campaign.slo.title}", "", "```",
+                      format_table(headers, rows), "```", ""]
     for pivot in campaign.pivots:
         xs, series = result.series(pivot)
         if not xs:
             continue
         lines += [f"## {pivot.title}", "", "```",
                   format_series(pivot.x, xs, series), "```", ""]
+    latency = latency_table(result)
+    if latency is not None:
+        lines += ["## Arrival-to-settle latency [cycles] per open-loop "
+                  "point", "", "```",
+                  format_table(latency[0], latency[1]), "```", ""]
     headers, rows = result.table()
     lines += ["## All points", "", "```",
               format_table(headers, rows), "```", ""]

@@ -355,6 +355,66 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def help_snapshot() -> str:
+    """Every ``repro-bench`` help screen as one Markdown document.
+
+    Rendered at a pinned 80-column width (argparse wraps at the terminal
+    width, which ``COLUMNS`` overrides) so the output is byte-stable
+    across machines.  ``docs/cli.md`` is this snapshot checked in;
+    ``tests/docs`` regenerates it in memory and fails on drift, so a
+    flag change cannot land without its documentation.
+    """
+    import os
+
+    from repro.api.perf import build_perf_parser
+
+    saved = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        lines: List[str] = [
+            "# `repro-bench` command reference",
+            "",
+            "Generated from the argparse definitions -- do not edit by",
+            "hand.  Regenerate (under Python 3.11) with:",
+            "",
+            "```",
+            "PYTHONPATH=src python -c \"from repro.api.cli import "
+            "write_help_snapshot; write_help_snapshot('docs/cli.md')\"",
+            "```",
+            "",
+        ]
+
+        def emit(parser: argparse.ArgumentParser) -> None:
+            lines.extend([f"## `{parser.prog}`", "", "```",
+                          parser.format_help().rstrip("\n"), "```", ""])
+            seen = set()
+            for action in parser._actions:
+                if not isinstance(action, argparse._SubParsersAction):
+                    continue
+                for sub in action.choices.values():
+                    if id(sub) in seen or not sub.add_help:
+                        # the perf stub (add_help=False) is documented
+                        # from its real parser below
+                        continue
+                    seen.add(id(sub))
+                    emit(sub)
+
+        emit(_build_parser())
+        emit(build_perf_parser())
+        return "\n".join(lines)
+    finally:
+        if saved is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = saved
+
+
+def write_help_snapshot(path: str) -> None:
+    """Write :func:`help_snapshot` to ``path`` (see ``docs/cli.md``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(help_snapshot())
+
+
 def _cmd_list() -> int:
     descriptions = REGISTRY.describe()
     width = max(len(name) for name in descriptions)
@@ -458,7 +518,8 @@ def _require_store(args: argparse.Namespace):
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis.report import campaign_markdown, format_table
+    from repro.analysis.report import (campaign_markdown, format_table,
+                                       latency_table)
     from repro.api.backends import WorkQueueBackend, backend_for
     from repro.api.runner import Runner
     from repro.api.sweep import load_results, run_campaign
@@ -499,6 +560,15 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     result = run_campaign(campaign, runner=runner, resume=resume)
     headers, rows = result.table()
     print(format_table(headers, rows, title=f"{campaign.name} campaign"))
+    latency = latency_table(result)
+    if latency is not None:
+        print(format_table(latency[0], latency[1],
+                           title="arrival-to-settle latency [cycles]"))
+    if campaign.slo is not None:
+        slo_headers, slo_rows = result.slo_table(campaign.slo)
+        if slo_rows:
+            print(format_table(slo_headers, slo_rows,
+                               title=campaign.slo.title))
     print(f"digest: {result.digest()}")
     if store is not None:
         print(f"store: {runner.store_hits} points hydrated from "

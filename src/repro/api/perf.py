@@ -96,6 +96,18 @@ PERF_CONFIGS: Dict[str, dict] = {
                    "llc": {"mshr_entries": 64}},
         "variant": "perf",
     },
+    # ycsb-c driven open-loop near its saturation knee: gates the
+    # admission-queue + latency-histogram path (ARRIVE markers, arrival
+    # catch-up, per-request settle) and pins the traffic stats digest.
+    "ycsb-c-openloop": {
+        "workload": "ycsb",
+        "params": {"num_ops": 60, "num_records": 8000, "scan_fraction": 1.0,
+                   "seed": 7},
+        "config": {"preset": "scaled", "model": "scope", "num_scopes": 4,
+                   "traffic": {"arrival": "poisson", "offered_load": 0.3,
+                               "queue_depth": 16}},
+        "variant": "perf",
+    },
 }
 
 #: Configurations the ``--quick`` smoke run measures.
@@ -347,8 +359,9 @@ def update_tracked_file(path: str, record: dict) -> dict:
     return out
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for the ``repro-bench perf`` subcommand."""
+def build_perf_parser():
+    """The ``repro-bench perf`` argument parser (shared with the CLI's
+    help snapshot, see :func:`repro.api.cli.help_snapshot`)."""
     import argparse
 
     parser = argparse.ArgumentParser(prog="repro-bench perf")
@@ -383,6 +396,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "lookup latency instead of kernel "
                              "throughput; with --update, refreshes only "
                              "the tracked file's 'store' section")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-bench perf`` subcommand."""
+    parser = build_perf_parser()
     args = parser.parse_args(argv)
 
     if args.store_bench:

@@ -42,6 +42,7 @@ _SCOPE_FENCE = ThreadOpKind.SCOPE_FENCE
 _MEM_FENCE = ThreadOpKind.MEM_FENCE
 _PIM_FENCE = ThreadOpKind.PIM_FENCE
 _BARRIER = ThreadOpKind.BARRIER
+_ARRIVE = ThreadOpKind.ARRIVE
 _MT_LOAD_RESP = MessageType.LOAD_RESP
 _MT_STORE_ACK = MessageType.STORE_ACK
 _MT_FLUSH_ACK = MessageType.FLUSH_ACK
@@ -58,7 +59,7 @@ class Core(Component):
                  "outstanding_flushes", "outstanding_by_scope",
                  "_waiting_pim_ack", "_at_barrier", "_step_scheduled",
                  "stats", "_stale_reads", "_loads", "_stores", "_pim_ops",
-                 "finish_time", "_step_bound", "_ep_offer")
+                 "finish_time", "_step_bound", "_ep_offer", "traffic")
 
     def __init__(
         self,
@@ -113,6 +114,10 @@ class Core(Component):
         self._pim_ops = 0
         self.stats.register_flush(self._flush_stats)
         self.finish_time: Optional[int] = None
+        #: Open-loop admission queue (``repro.traffic``); ``None`` keeps
+        #: the legacy closed loop with zero overhead outside the rare
+        #: BARRIER/ARRIVE branches.
+        self.traffic = None
 
     def _flush_stats(self) -> None:
         stats = self.stats
@@ -207,10 +212,16 @@ class Core(Component):
             # awaited -- execution may still be in flight in the module.
             if not self._quiesced(include_pim=False):
                 return  # woken by response completions
+            if self.traffic is not None:
+                # The final open-loop request settles here, at the
+                # trailing barrier, rather than at a next ARRIVE marker.
+                self.traffic.settle(self.sim.now)
             self._advance()
             self._at_barrier = True
             if self.barrier_cb is not None:
                 self.barrier_cb(self)
+        elif kind is _ARRIVE:
+            self._arrive(op)
         else:  # pragma: no cover - exhaustive
             raise ValueError(f"core cannot execute {kind}")
         if self._exhausted and not self._done_notified:
@@ -221,6 +232,39 @@ class Core(Component):
         if self.pc >= len(self._ops):
             self._exhausted = True
             self.finish_time = self.sim.now
+
+    def _arrive(self, op: ThreadOp) -> None:
+        """Open-loop request boundary (``repro.traffic``).
+
+        The core is a single server: it first settles the previous
+        request (arrival-to-settle latency), then asks the admission
+        queue for a verdict on this one -- start it, sleep until its
+        precomputed arrival cycle, or skip its body if the bounded
+        queue shed it while the core was busy.
+        """
+        if not self._quiesced(include_pim=False):
+            return  # woken by response completions
+        traffic = self.traffic
+        if traffic is None:
+            raise RuntimeError(
+                f"{self.name}: ARRIVE op without an admission queue "
+                "(open-loop program under closed-loop traffic config?)")
+        now = self.sim.now
+        traffic.settle(now)
+        verdict = traffic.poll(op.addr, now)
+        if verdict > 0:  # not yet arrived: one wake-up at arrival time
+            self._step_scheduled = True
+            self.sim.schedule(verdict, self._step_bound)
+            return
+        if verdict < 0:  # shed: skip the request body in O(1)
+            self.pc += 1 + op.cycles
+            if self.pc >= len(self._ops):
+                self._exhausted = True
+                self.finish_time = now
+            self._schedule_step(0)
+            return
+        self._advance()
+        self._schedule_step(0)
 
     # -- issuing --------------------------------------------------------- #
 

@@ -12,6 +12,14 @@ Routing: loads/stores/flushes go to the core's L1 (or, uncacheable,
 straight onto the request network); PIM ops bypass the L1 except under
 scope-relaxed, where they traverse it (Fig. 6c); scope fences always
 traverse the L1 (they must scan it, Fig. 6d).
+
+Under the open-loop traffic model a second, *logical* queue sits ahead
+of this one: the per-core bounded admission queue
+(:class:`repro.traffic.AdmissionQueue`).  Requests arrive on a
+precomputed seeded schedule, are shed past the configured depth, and
+their latency is measured from arrival to settle -- the entry point
+itself is unchanged; it just sees each admitted request's operations
+when the core starts serving it.
 """
 
 from __future__ import annotations

@@ -29,6 +29,11 @@ class ThreadOpKind(enum.Enum):
     SCOPE_FENCE = "scope_fence"
     COMPUTE = "compute"
     BARRIER = "barrier"
+    #: Open-loop request boundary: wait for the request's precomputed
+    #: arrival time and an admission-queue verdict (``repro.traffic``).
+    #: ``addr`` carries the request index, ``cycles`` the body length so
+    #: a shed request is skipped in O(1).
+    ARRIVE = "arrive"
 
 
 class ThreadOp:
@@ -95,6 +100,12 @@ class ThreadOp:
     @classmethod
     def barrier(cls) -> "ThreadOp":
         return cls(ThreadOpKind.BARRIER)
+
+    @classmethod
+    def arrive(cls, request: int) -> "ThreadOp":
+        """Open-loop request marker (``cycles`` patched to the body
+        length by :meth:`repro.workloads.base.ProgramEmitter.end_request`)."""
+        return cls(ThreadOpKind.ARRIVE, addr=request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{self.kind.value} addr={self.addr:#x} scope={self.scope}>"

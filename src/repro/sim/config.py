@@ -135,6 +135,63 @@ class PimModuleConfig:
         return 0 if self.zero_logic else self.op_latency
 
 
+#: Arrival processes the open-loop traffic layer understands.
+ARRIVAL_KINDS = ("closed", "poisson", "burst", "ramp")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Open-loop arrival process ahead of the cores (``repro.traffic``).
+
+    The default ``arrival="closed"`` is the legacy closed loop (each
+    core issues its next op when the previous settles) and emits no new
+    stat keys, which keeps default-config result digests byte-identical
+    (gated by ``tests/api/test_default_digests.py``).  Any open kind
+    precomputes a seeded arrival-time array per core, feeds a bounded
+    admission queue, and tracks per-request latency from *arrival* (not
+    issue) to settle.
+    """
+
+    #: ``closed`` | ``poisson`` | ``burst`` (2-state MMPP) | ``ramp``
+    #: (diurnal linear rate ramp).
+    arrival: str = "closed"
+    #: Mean offered load, in requests per 1000 cycles per core.
+    offered_load: float = 0.0
+    #: Admission queue depth per core; arrivals beyond it are shed
+    #: (counted as ``req_dropped``).  ``None`` = unbounded.
+    queue_depth: Optional[int] = None
+    #: ``burst``: high/low phase rates are ``offered_load * burstiness``
+    #: and ``offered_load / burstiness``.
+    burstiness: float = 4.0
+    #: ``burst``: mean arrivals per phase before switching (geometric).
+    burst_dwell: int = 16
+    #: ``ramp``: rate climbs linearly from ``offered_load / ramp_peak``
+    #: to ``offered_load * ramp_peak`` across the request stream.
+    ramp_peak: float = 2.0
+    #: Arrival-stream RNG seed; same seed => same arrival array.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"arrival must be one of {ARRIVAL_KINDS}, "
+                             f"got {self.arrival!r}")
+        if self.arrival != "closed" and self.offered_load <= 0:
+            raise ValueError("open-loop traffic requires offered_load > 0")
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1 (or None for "
+                             "unbounded)")
+        if self.burstiness <= 1.0:
+            raise ValueError("burstiness must be > 1")
+        if self.burst_dwell < 1:
+            raise ValueError("burst_dwell must be >= 1")
+        if self.ramp_peak < 1.0:
+            raise ValueError("ramp_peak must be >= 1")
+
+    @property
+    def open(self) -> bool:
+        return self.arrival != "closed"
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Complete system description handed to the builder."""
@@ -154,6 +211,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     pim: PimModuleConfig = field(default_factory=PimModuleConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
     #: Scope size: 2 MB huge pages (Table II).
     scope_bytes: int = 2 << 20
     #: Start of PIM memory in the physical address space.
@@ -208,6 +266,10 @@ class SystemConfig:
         """A copy with PIM-module fields overridden (Fig. 11 experiments)."""
         return replace(self, pim=replace(self.pim, **kwargs))
 
+    def with_traffic(self, **kwargs) -> "SystemConfig":
+        """A copy with traffic fields overridden (open-loop experiments)."""
+        return replace(self, traffic=replace(self.traffic, **kwargs))
+
     def __post_init__(self) -> None:
         if self.pim_base % self.scope_bytes:
             raise ValueError("pim_base must be scope-aligned")
@@ -229,6 +291,7 @@ _NESTED_CONFIG = {
     "network": NetworkConfig,
     "memory": MemoryConfig,
     "pim": PimModuleConfig,
+    "traffic": TrafficConfig,
 }
 
 _CONFIG_PRESETS = {

@@ -23,7 +23,7 @@ from repro.core.scope import ScopeMap
 from repro.host.core import Core
 from repro.host.entry_point import EntryPoint
 from repro.host.policies import IssuePolicy
-from repro.host.program import ThreadProgram
+from repro.host.program import ThreadOpKind, ThreadProgram
 from repro.memory.l1 import L1Cache
 from repro.memory.llc import LastLevelCache
 from repro.memory.memory_controller import MemoryController
@@ -33,6 +33,7 @@ from repro.sim.component import Link, ResponseDispatcher
 from repro.sim.config import SystemConfig
 from repro.sim.kernel import Simulator
 from repro.sim.messages import Message
+from repro.traffic import AdmissionQueue, arrival_times
 
 
 class Barrier:
@@ -123,6 +124,9 @@ class System:
         self.cores: List[Core] = []
         self.barrier: Optional[Barrier] = None
         self._active_cores: List[Core] = []
+        #: Per-core admission queues (open-loop traffic only; empty for
+        #: the closed loop, which is what keeps snapshots key-stable).
+        self.traffic_sources: List[AdmissionQueue] = []
         #: Active cores whose ``done`` has not yet fired (run loop stop).
         self._unfinished = 0
         l1_mshr = config.l1.mshr_entries
@@ -208,7 +212,24 @@ class System:
             raise ValueError("more programs than cores")
         self.barrier = Barrier(len(programs))
         self._active_cores = []
+        traffic = self.config.traffic
         for core, program in zip(self.cores, programs):
+            if traffic.open:
+                requests = program.count(ThreadOpKind.ARRIVE)
+                if requests == 0:
+                    raise ValueError(
+                        f"open-loop traffic ({traffic.arrival!r}) needs a "
+                        f"workload that emits admission requests; "
+                        f"{program.name!r} has none"
+                    )
+                # The schedule is seeded per run, not per core: one
+                # client stream fans out to every shard, so all cores
+                # share one arrival array (shard-level admission).
+                core.traffic = source = AdmissionQueue(
+                    arrival_times(traffic, requests),
+                    traffic.queue_depth, core.stats,
+                )
+                self.traffic_sources.append(source)
             core.run_program(program)
             self._active_cores.append(core)
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.sim.config import SystemConfig, config_from_dict, config_to_dict
-from repro.sim.stats import StatsView
+from repro.sim.stats import StatGroup, StatsView
 from repro.system.builder import System
 
 #: Schema tag of the serialized :class:`SimulationResult` form.  Bump it
@@ -88,6 +88,16 @@ class SimulationResult:
     @property
     def pim(self) -> StatsView:
         return self.group("pim")
+
+    @property
+    def traffic(self) -> StatsView:
+        """Merged open-loop traffic stats (empty under the closed loop).
+
+        ``result.traffic.latency_p99``, ``.req_dropped``, ... -- the
+        per-core histograms merged into one distribution plus summed
+        admission counters (see ``repro.traffic``).
+        """
+        return self.group("traffic")
 
     def core(self, core_id: int) -> StatsView:
         return self.group(f"core.{core_id}")
@@ -199,6 +209,24 @@ def collect_result(system: System, run_time: int) -> SimulationResult:
         stats[l1.name] = l1.stats.as_dict()
     for core in system.cores:
         stats[core.name] = core.stats.as_dict()
+    if system.traffic_sources:
+        # Merge the per-core admission queues into one "traffic" group:
+        # histograms merge exactly (bucket-count addition), counters sum.
+        merged = StatGroup("traffic")
+        latency = merged.histogram("latency")
+        depth = merged.histogram("queue_depth")
+        offered = merged.counter("req_offered")
+        admitted = merged.counter("req_admitted")
+        dropped = merged.counter("req_dropped")
+        completed = merged.counter("req_completed")
+        for source in system.traffic_sources:
+            latency.merge(source.latency)
+            depth.merge(source.queue_depth)
+            offered.value += source.offered
+            admitted.value += source.admitted
+            dropped.value += source.dropped
+            completed.value += source.completed
+        stats["traffic"] = merged.as_dict()
     return SimulationResult(
         config=system.config,
         run_time=run_time,

@@ -1,0 +1,18 @@
+"""Open-loop traffic: seeded arrival processes + bounded admission.
+
+Closed-loop workloads (every workload before this package) issue their
+next operation when the previous settles, so they can measure throughput
+but never queueing delay.  This package turns the same workloads into a
+serving-system study: a seeded, deterministic arrival process decides
+*when* each request reaches a core, a bounded admission queue sheds load
+past its depth, and per-request latency is tracked from **arrival** (not
+issue) to settle -- the quantity a client actually waits.
+
+See ``docs/traffic.md`` for the methodology (arrival processes, the SLO
+knee, determinism guarantees).
+"""
+
+from repro.traffic.admission import AdmissionQueue
+from repro.traffic.arrivals import arrival_times
+
+__all__ = ["AdmissionQueue", "arrival_times"]

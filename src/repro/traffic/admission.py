@@ -1,0 +1,125 @@
+"""Per-core bounded admission queue with arrival-to-settle accounting.
+
+One :class:`AdmissionQueue` sits logically in front of each core's entry
+point.  The core's program carries one ``ARRIVE`` marker per request;
+when the core reaches a marker it settles the previous request, then
+asks the queue what to do with the next one:
+
+* **admit** -- the request arrived and survived the depth bound; the
+  core starts its body and the queue records the admission-time depth;
+* **wait** -- the request hasn't arrived yet; the core sleeps until the
+  precomputed arrival cycle (one timing-wheel/heap event, no polling);
+* **drop** -- the bounded queue shed the request while the core was
+  busy; the core skips the request body in O(1) (the marker carries the
+  body length).
+
+All bookkeeping lives in the core's :class:`~repro.sim.stats.StatGroup`
+(counters ``req_offered/req_admitted/req_dropped/req_completed`` and
+histograms ``latency``/``queue_depth``), created only when traffic is
+open, so closed-loop snapshots gain no keys and default digests hold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.sim.stats import StatGroup
+
+#: ``poll`` verdicts: admitted now / shed; positive values are a wait.
+ADMIT = 0
+DROP = -1
+
+
+class AdmissionQueue:
+    """FIFO admission over a precomputed arrival schedule.
+
+    Requests are identified by their index into the arrival array; the
+    core presents them in order, so the FIFO discipline reduces to
+    integer bookkeeping -- no deque of request objects, just a count of
+    arrivals examined, a waiting counter, and the set of shed indices.
+    """
+
+    __slots__ = ("arrivals", "depth", "latency", "queue_depth",
+                 "_offered", "_admitted", "_dropped_ctr", "_completed",
+                 "_next", "_waiting", "_shed", "_in_service",
+                 "_service_arrival")
+
+    def __init__(self, arrivals: List[int], depth: Optional[int],
+                 stats: StatGroup) -> None:
+        self.arrivals = arrivals
+        self.depth = depth
+        self._offered = stats.counter("req_offered")
+        self._admitted = stats.counter("req_admitted")
+        self._dropped_ctr = stats.counter("req_dropped")
+        self._completed = stats.counter("req_completed")
+        self.latency = stats.histogram("latency")
+        self.queue_depth = stats.histogram("queue_depth")
+        self._next = 0          # first arrival not yet examined
+        self._waiting = 0       # arrived, not shed, not yet in service
+        self._shed: Set[int] = set()
+        self._in_service = -1   # request index in service (-1: none)
+        self._service_arrival = 0
+
+    def _catch_up(self, now: int) -> None:
+        """Account every arrival up to ``now`` (enqueue or shed)."""
+        arrivals = self.arrivals
+        n = len(arrivals)
+        nxt = self._next
+        while nxt < n and arrivals[nxt] <= now:
+            self._offered.value += 1
+            if self.depth is not None and self._waiting >= self.depth:
+                self._shed.add(nxt)
+                self._dropped_ctr.value += 1
+            else:
+                self._waiting += 1
+            nxt += 1
+        self._next = nxt
+
+    def poll(self, request: int, now: int) -> int:
+        """The core is free and at request ``request``'s ARRIVE marker.
+
+        Returns :data:`ADMIT` (start the body now), :data:`DROP` (the
+        bounded queue shed it; skip the body), or a positive cycle count
+        to sleep until the request's arrival.
+        """
+        self._catch_up(now)
+        if request in self._shed:
+            self._shed.discard(request)
+            return DROP
+        if request >= self._next:
+            return self.arrivals[request] - now
+        # Arrived and queued; FIFO order is the program order, so this
+        # is the head.  Sample depth including the departing request.
+        self.queue_depth.record(self._waiting)
+        self._waiting -= 1
+        self._admitted.value += 1
+        self._in_service = request
+        self._service_arrival = self.arrivals[request]
+        return ADMIT
+
+    def settle(self, now: int) -> None:
+        """The in-service request's last memory op completed at ``now``.
+
+        Idempotent: called at the next ARRIVE marker *and* at the final
+        barrier, whichever comes first.
+        """
+        if self._in_service >= 0:
+            self.latency.record(now - self._service_arrival)
+            self._completed.value += 1
+            self._in_service = -1
+
+    @property
+    def offered(self) -> int:
+        return self._offered.value
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted.value
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped_ctr.value
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value

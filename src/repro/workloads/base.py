@@ -156,6 +156,42 @@ class ProgramEmitter:
         #: Shared, compile-time count of PIM ops issued per scope -- the
         #: version a subsequent correct result read must observe.
         self.pim_issue_counts = pim_issue_counts
+        # Open-loop request bracketing state (begin_request/end_request).
+        self._request_start: int = -1
+        self._request_count: int = 0
+
+    # -- open-loop request boundaries ------------------------------------ #
+
+    @property
+    def open_loop(self) -> bool:
+        """True when the system's traffic config is an open arrival."""
+        return self.system.config.traffic.open
+
+    def begin_request(self) -> None:
+        """Mark the start of one open-loop request.
+
+        Emits an ARRIVE marker carrying the request index; the core
+        sleeps on it until the request's precomputed arrival cycle and
+        lets the admission queue admit or shed it.
+        """
+        if self._request_start >= 0:
+            raise RuntimeError("begin_request inside an open request")
+        self._request_start = len(self.program.ops)
+        self.program.append(ThreadOp.arrive(self._request_count))
+
+    def end_request(self) -> None:
+        """Close the current request: patch the marker's body length.
+
+        The body length lets a core skip a shed request in O(1) without
+        walking its ops.
+        """
+        start = self._request_start
+        if start < 0:
+            raise RuntimeError("end_request without begin_request")
+        marker = self.program.ops[start]
+        marker.cycles = len(self.program.ops) - start - 1
+        self._request_start = -1
+        self._request_count += 1
 
     # -- plain operations ------------------------------------------------ #
 

@@ -160,12 +160,24 @@ class YcsbWorkload(Workload):
         pending_insert_lines: Dict[int, List[int]] = {}
         field_names = [f.name for f in self.schema.fields]
 
+        # Open loop: every workload operation becomes one request per
+        # thread (shard-level admission -- a client op fans out to all
+        # shards, so request indices stay aligned with the shared
+        # arrival stream; an insert is an empty request on non-owner
+        # shards).  The client think time is replaced by the arrival
+        # gate; the closed-loop emission below is byte-identical to the
+        # pre-traffic compiler.
+        open_loop = emitters[0].open_loop if emitters else False
+
         for op in self.operations():
             if op[0] == "scan":
                 _, lo, hi = op
                 matches = range(lo, hi)
                 for t, em in enumerate(emitters):
-                    em.compute(p.think_cycles)
+                    if open_loop:
+                        em.begin_request()
+                    else:
+                        em.compute(p.think_cycles)
                     for sid in scope_sets[t]:
                         flush_lines = layout.bitmap_lines(sid)
                         flush_lines += pending_insert_lines.pop(sid, [])
@@ -178,6 +190,8 @@ class YcsbWorkload(Workload):
                     for row in matches:
                         if layout.shard_of(row) in my_scopes:
                             em.read_record_field(layout, row, field)
+                    if open_loop:
+                        em.end_request()
                     if p.sync_per_op:
                         em.barrier()
             else:
@@ -187,10 +201,15 @@ class YcsbWorkload(Workload):
                     t for t, scopes in enumerate(scope_sets) if sid in scopes
                 )
                 for t, em in enumerate(emitters):
+                    if open_loop:
+                        em.begin_request()
                     if t == owner:
-                        em.compute(p.think_cycles)
+                        if not open_loop:
+                            em.compute(p.think_cycles)
                         lines = em.insert_record(layout, row)
                         pending_insert_lines.setdefault(sid, []).extend(lines)
+                    if open_loop:
+                        em.end_request()
                     if p.sync_per_op:
                         em.barrier()
         for em in emitters:

@@ -1,0 +1,102 @@
+"""Relative-link checker for README.md and the docs/ tree.
+
+Every ``[text](target)`` whose target is a relative path must point at
+a file that exists, and a ``#fragment`` must match a heading's
+GitHub-style anchor slug in the target document.  External links
+(``http(s)://``, ``mailto:``) are out of scope -- CI must not depend on
+the network.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def _doc_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    files += sorted(os.path.join(docs, name)
+                    for name in os.listdir(docs) if name.endswith(".md"))
+    return files
+
+
+def _read(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _links(path):
+    """Relative link targets in ``path`` (code fences stripped)."""
+    text = FENCE_RE.sub("", _read(path))
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def _slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->'-'."""
+    out = []
+    for ch in heading.strip().lower():
+        if ch.isalnum() or ch == "-":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+    return "".join(out)
+
+
+def _anchors(path):
+    anchors = set()
+    text = FENCE_RE.sub("", _read(path))
+    for line in text.splitlines():
+        if line.startswith("#"):
+            anchors.add(_slug(line.lstrip("#")))
+    return anchors
+
+
+@pytest.mark.parametrize("doc", _doc_files(),
+                         ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_relative_links_resolve(doc):
+    base = os.path.dirname(doc)
+    broken = []
+    for target in _links(doc):
+        path_part, _, fragment = target.partition("#")
+        resolved = (os.path.normpath(os.path.join(base, path_part))
+                    if path_part else doc)
+        if not os.path.exists(resolved):
+            broken.append(f"{target}: no such file {resolved}")
+            continue
+        if fragment and os.path.isfile(resolved):
+            if fragment not in _anchors(resolved):
+                broken.append(f"{target}: no heading slug {fragment!r} "
+                              f"in {resolved}")
+    assert not broken, broken
+
+
+def test_docs_tree_is_linked_from_readme():
+    """Every docs/*.md guide must be reachable from the README index
+    (a split-out page nobody links to is silently dropped content)."""
+    readme = os.path.join(REPO_ROOT, "README.md")
+    linked = {os.path.normpath(os.path.join(REPO_ROOT, t.partition("#")[0]))
+              for t in _links(readme)}
+    for doc in _doc_files():
+        if os.path.basename(doc) == "README.md":
+            continue
+        assert doc in linked, f"{doc} is not linked from README.md"
+
+
+def test_readme_kept_the_install_and_verify_sections():
+    """The split must not gut the front page: install, verify and
+    quickstart stay in README.md."""
+    anchors = _anchors(os.path.join(REPO_ROOT, "README.md"))
+    for required in ("install", "verify-tier-1",
+                     "quickstart-the-experiment-api", "documentation",
+                     "layout"):
+        assert required in anchors, f"README.md lost its #{required}"

@@ -1,0 +1,91 @@
+"""Arrival-schedule determinism: the open-loop methodology's bedrock.
+
+Every schedule is a pure function of ``(process, parameters, seed)``:
+same seed, same array -- across calls, processes and backends.  The
+string-seeded ``random.Random`` hashes through SHA-512, so this holds
+across machines too (no ``PYTHONHASHSEED`` dependence).
+"""
+
+import pytest
+
+from repro.sim.config import ARRIVAL_KINDS, TrafficConfig
+from repro.traffic import arrival_times
+
+OPEN_KINDS = tuple(k for k in ARRIVAL_KINDS if k != "closed")
+
+
+def _config(kind, **kwargs):
+    kwargs.setdefault("offered_load", 0.5)
+    return TrafficConfig(arrival=kind, **kwargs)
+
+
+@pytest.mark.parametrize("kind", OPEN_KINDS)
+def test_same_seed_same_schedule(kind):
+    a = arrival_times(_config(kind, seed=3), 200)
+    b = arrival_times(_config(kind, seed=3), 200)
+    assert a == b
+    assert len(a) == 200
+
+
+@pytest.mark.parametrize("kind", OPEN_KINDS)
+def test_different_seeds_differ(kind):
+    a = arrival_times(_config(kind, seed=3), 200)
+    b = arrival_times(_config(kind, seed=4), 200)
+    assert a != b
+
+
+@pytest.mark.parametrize("kind", OPEN_KINDS)
+def test_schedules_are_monotonic_nonnegative_ints(kind):
+    times = arrival_times(_config(kind), 500)
+    assert all(isinstance(t, int) for t in times)
+    assert times[0] >= 0
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_processes_produce_distinct_schedules():
+    schedules = {kind: tuple(arrival_times(_config(kind), 300))
+                 for kind in OPEN_KINDS}
+    assert len(set(schedules.values())) == len(OPEN_KINDS)
+
+
+def test_mean_rate_tracks_offered_load():
+    """Poisson inter-arrivals average 1000/offered_load cycles."""
+    times = arrival_times(_config("poisson", offered_load=0.5, seed=9),
+                          4000)
+    mean_gap = times[-1] / (len(times) - 1)
+    assert 2000 * 0.8 < mean_gap < 2000 * 1.2
+
+
+def test_burst_is_burstier_than_poisson():
+    """The 2-state MMPP's gap variance exceeds Poisson's at equal load
+    (that is its whole point); compare squared coefficients of
+    variation, which are scale-free."""
+
+    def cv2(times):
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / (mean * mean)
+
+    poisson = arrival_times(_config("poisson", seed=5), 4000)
+    burst = arrival_times(_config("burst", seed=5, burstiness=8.0), 4000)
+    assert cv2(burst) > cv2(poisson)
+
+
+def test_ramp_accelerates():
+    """Diurnal ramp: the second half of the stream arrives faster than
+    the first half (rate climbs from base/peak to base*peak)."""
+    times = arrival_times(_config("ramp", seed=2, ramp_peak=4.0), 2000)
+    first_half = times[1000] - times[0]
+    second_half = times[-1] - times[1000]
+    assert second_half < first_half
+
+
+def test_closed_loop_has_no_schedule():
+    with pytest.raises(ValueError):
+        arrival_times(TrafficConfig(), 10)
+
+
+def test_empty_stream_rejected():
+    with pytest.raises(ValueError):
+        arrival_times(_config("poisson"), 0)
