@@ -73,6 +73,38 @@ def latency_table(result):
     return headers, rows
 
 
+def stalls_table(result):
+    """``(headers, rows)`` of per-point stall attribution, or ``None``.
+
+    One row per campaign point whose result carries an ``obs`` payload
+    (traced runs only: ``sweep run --trace``), one column per stall
+    reason observed anywhere in the campaign, each cell summing that
+    reason across the point's components.  Point names carry the model,
+    so the table doubles as the per-model stall breakdown.  ``None``
+    when nothing was traced, so untraced reports are unchanged.
+    """
+    from repro.obs.trace import STALL_REASONS, stall_totals
+
+    per_point = []
+    seen = set()
+    for p in result.ok_points:
+        obs = getattr(p.result, "obs", None)
+        if not obs:
+            continue
+        totals = stall_totals(obs)
+        per_point.append((p.name, totals))
+        seen.update(totals)
+    if not per_point:
+        return None
+    # Documented taxonomy order first, then anything new alphabetically.
+    reasons = [r for r in STALL_REASONS if r in seen] \
+        + sorted(seen - set(STALL_REASONS))
+    headers = ["point"] + reasons
+    rows = [[name] + [totals.get(r, 0) for r in reasons]
+            for name, totals in per_point]
+    return headers, rows
+
+
 def campaign_markdown(result) -> str:
     """Render a :class:`~repro.api.sweep.CampaignResult` as Markdown.
 
@@ -111,6 +143,11 @@ def campaign_markdown(result) -> str:
         lines += ["## Arrival-to-settle latency [cycles] per open-loop "
                   "point", "", "```",
                   format_table(latency[0], latency[1]), "```", ""]
+    stalls = stalls_table(result)
+    if stalls is not None:
+        lines += ["## Stall attribution per traced point (cycles or "
+                  "incident counts; see docs/observability.md)", "",
+                  "```", format_table(stalls[0], stalls[1]), "```", ""]
     headers, rows = result.table()
     lines += ["## All points", "", "```",
               format_table(headers, rows), "```", ""]

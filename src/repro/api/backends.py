@@ -18,22 +18,39 @@ crosses the process boundary.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import functools
 import multiprocessing
 import os
 import traceback
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.api.experiment import Experiment
+from repro.sim.config import TraceConfig
 from repro.system.simulation import SimulationResult, run_workload
 
+#: Progress callback for settled batches: called with the number of
+#: points that just finished (usually 1; a distributed shard at once).
+ProgressFn = Callable[[int], None]
 
-def execute_experiment(experiment: Experiment) -> SimulationResult:
-    """Run one experiment spec to completion (the single-run engine)."""
+
+def execute_experiment(experiment: Experiment,
+                       trace: Optional[TraceConfig] = None) -> SimulationResult:
+    """Run one experiment spec to completion (the single-run engine).
+
+    ``trace`` is an *execution-side* observability overlay: the spec --
+    and therefore its hash, the store key and every pinned digest -- is
+    untouched; only the built system gets the tracing config.  Tracing
+    never perturbs simulation state, so the result differs from an
+    untraced run only by the extra ``obs`` payload.
+    """
+    config = experiment.config
+    if trace is not None:
+        config = dataclasses.replace(config, trace=trace)
     workload = experiment.build_workload()
     return run_workload(
-        experiment.config, workload, max_events=experiment.max_events
+        config, workload, max_events=experiment.max_events
     )
 
 
@@ -58,7 +75,8 @@ class ExperimentFailure:
 Settled = Union[SimulationResult, ExperimentFailure]
 
 
-def execute_experiment_settled(experiment: Experiment) -> Settled:
+def execute_experiment_settled(experiment: Experiment,
+                               trace: Optional[TraceConfig] = None) -> Settled:
     """Run one spec, converting any failure into :class:`ExperimentFailure`.
 
     This is the per-point isolation primitive of campaign execution: a
@@ -66,12 +84,14 @@ def execute_experiment_settled(experiment: Experiment) -> Settled:
     that dies mid-run reports as data instead of aborting the batch.
     """
     try:
-        return execute_experiment(experiment)
+        return execute_experiment(experiment, trace=trace)
     except Exception:  # noqa: BLE001 - the point is to report, not crash
         return ExperimentFailure(traceback.format_exc())
 
 
-def execute_experiment_settled_store(store, experiment: Experiment) -> Settled:
+def execute_experiment_settled_store(
+        store, experiment: Experiment,
+        trace: Optional[TraceConfig] = None) -> Settled:
     """Settled execution with write-through to a persistent store.
 
     The *executing worker* persists its own success, so a campaign
@@ -82,7 +102,7 @@ def execute_experiment_settled_store(store, experiment: Experiment) -> Settled:
     (a root path and a fingerprint string), so the same function drives
     the serial path and the process pool.
     """
-    outcome = execute_experiment_settled(experiment)
+    outcome = execute_experiment_settled(experiment, trace=trace)
     if not isinstance(outcome, ExperimentFailure):
         try:
             store.put(experiment.spec_hash(), outcome, experiment)
@@ -91,11 +111,21 @@ def execute_experiment_settled_store(store, experiment: Experiment) -> Settled:
     return outcome
 
 
-def _settled_fn(store):
-    """The per-point settled executor, write-through when a store rides."""
+def _settled_fn(store, trace: Optional[TraceConfig] = None):
+    """The per-point settled executor, write-through when a store rides.
+
+    Both the store and the trace overlay are bound with
+    :func:`functools.partial` over plain data (the store pickles as a
+    root path + fingerprint, :class:`TraceConfig` is a frozen
+    dataclass), so the same callable drives the serial path and the
+    process pool.
+    """
     if store is None:
-        return execute_experiment_settled
-    return functools.partial(execute_experiment_settled_store, store)
+        if trace is None:
+            return execute_experiment_settled
+        return functools.partial(execute_experiment_settled, trace=trace)
+    return functools.partial(execute_experiment_settled_store, store,
+                             trace=trace)
 
 
 class ExecutionBackend(abc.ABC):
@@ -108,15 +138,26 @@ class ExecutionBackend(abc.ABC):
         """Execute every experiment; results align with the input order."""
 
     def run_all_settled(self, experiments: Sequence[Experiment],
-                        store=None) -> List[Settled]:
+                        store=None,
+                        trace: Optional[TraceConfig] = None,
+                        progress: Optional[ProgressFn] = None) -> List[Settled]:
         """Like :meth:`run_all`, but failures isolate to their point.
 
         ``store`` (a :class:`~repro.api.store.ResultStore`) turns on
         per-point write-through: each success is persisted by the worker
-        that computed it, as it finishes.
+        that computed it, as it finishes.  ``trace`` overlays an
+        observability config on execution without touching the specs (see
+        :func:`execute_experiment`).  ``progress`` is called with the
+        number of points that just settled, as they settle.
         """
-        fn = _settled_fn(store)
-        return [fn(e) for e in experiments]
+        fn = _settled_fn(store, trace)
+        if progress is None:
+            return [fn(e) for e in experiments]
+        settled: List[Settled] = []
+        for experiment in experiments:
+            settled.append(fn(experiment))
+            progress(1)
+        return settled
 
     def run(self, experiment: Experiment) -> SimulationResult:
         return self.run_all([experiment])[0]
@@ -177,9 +218,11 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._map(execute_experiment, experiments)
 
     def run_all_settled(self, experiments: Sequence[Experiment],
-                        store=None) -> List[Settled]:
-        fn = _settled_fn(store)
-        if self.timeout_s is None:
+                        store=None,
+                        trace: Optional[TraceConfig] = None,
+                        progress: Optional[ProgressFn] = None) -> List[Settled]:
+        fn = _settled_fn(store, trace)
+        if self.timeout_s is None and progress is None:
             return self._map(fn, experiments)
         experiments = list(experiments)
         if not experiments:
@@ -187,7 +230,9 @@ class ProcessPoolBackend(ExecutionBackend):
         workers = max(1, min(self.jobs, len(experiments)))
         ctx = self._context()
         # Exiting the `with` terminates the pool, killing any child
-        # still stuck on a timed-out point.
+        # still stuck on a timed-out point.  Progress reporting rides
+        # the same per-point apply_async path as the timeout: points
+        # are collected (and reported) in input order as they finish.
         with ctx.Pool(processes=workers) as pool:
             pending = [pool.apply_async(fn, (e,)) for e in experiments]
             settled: List[Settled] = []
@@ -200,6 +245,8 @@ class ProcessPoolBackend(ExecutionBackend):
                         f"{self.timeout_s}s per-point timeout (hung "
                         f"simulation or starved worker); killed with the "
                         f"pool", retryable=True))
+                if progress is not None:
+                    progress(1)
             return settled
 
     def _map(self, fn, experiments: Sequence[Experiment]) -> List:
@@ -266,13 +313,16 @@ class WorkQueueBackend(ExecutionBackend):
         return results
 
     def run_all_settled(self, experiments: Sequence[Experiment],
-                        store=None) -> List[Settled]:
+                        store=None,
+                        trace: Optional[TraceConfig] = None,
+                        progress: Optional[ProgressFn] = None) -> List[Settled]:
         if store is not None and os.fspath(store.root) != self.store.root:
             raise ValueError(
                 f"WorkQueueBackend is bound to store {self.store.root!r} "
                 f"but the batch was dispatched with store {store.root!r}; "
                 f"the queue and the results must share one store")
         coordinator = self._coordinator()
-        settled = coordinator.run(experiments)
+        settled = coordinator.run(experiments, trace=trace,
+                                  progress=progress)
         self.last_stats = dict(coordinator.stats)
         return settled

@@ -1,6 +1,7 @@
 """``repro-bench``: run experiment sweeps from the command line.
 
-Five subcommands::
+The subcommands (``--log-level LEVEL`` before any of them, or
+``$REPRO_LOG``, tunes the ``repro`` logger hierarchy)::
 
     repro-bench list
         Show the registered workloads and their parameters.
@@ -9,7 +10,8 @@ Five subcommands::
     repro-bench sweep list-points CAMPAIGN
     repro-bench sweep run CAMPAIGN [--jobs N|auto] [--output FILE]
                           [--report FILE] [--resume FILE] [--store DIR]
-                          [--timeout-s N] [--distributed] [--shard-size N]
+                          [--timeout-s N] [--trace] [--no-progress]
+                          [--distributed] [--shard-size N]
                           [--lease-s N] [--grace-s N] [--max-attempts N]
         Declarative campaigns: expand a registered campaign (or a JSON
         campaign file) into its experiment grid and execute it with
@@ -28,7 +30,12 @@ Five subcommands::
         worker`` processes can chew cooperatively; crashed or straggling
         workers are re-dispatched, transient failures retried with
         capped backoff, and the run degrades to local execution when no
-        worker joins within the grace period.
+        worker joins within the grace period.  ``--trace`` overlays
+        stall-attribution tracing on execution (spec hashes, store keys
+        and the campaign digest are unchanged; observation never
+        perturbs results) so the report gains a per-point stall table;
+        a progress line with ETA streams to stderr unless
+        ``--no-progress``.
 
     repro-bench worker --store DIR [--poll-s N] [--max-idle-s N]
                        [--max-tasks N] [--once] [--id NAME]
@@ -38,13 +45,35 @@ Five subcommands::
         on any machine sharing the store directory.
 
     repro-bench queue status [--store DIR] [--json]
-        Show each active queue run: shards, leases (active/expired),
-        completed tasks.  ``--json`` emits the rows machine-readably.
+    repro-bench queue tail [--store DIR] [--lines N] [--follow]
+                           [--poll-s N] [--max-s N]
+        ``status`` shows each active queue run: shards, leases
+        (active/expired), completed tasks; ``--json`` emits the rows
+        machine-readably.  ``tail`` renders the fleet's structured
+        telemetry (``<store>/queue/telemetry.jsonl``: claim/start/
+        point/heartbeat/finish/retry/... records from every worker and
+        coordinator) as a live text view; ``--follow`` keeps polling
+        for new records.
+
+    repro-bench trace run WORKLOAD [--model NAME] [--num-scopes N]
+                          [--param key=value ...] [--preset scaled|paper]
+                          [--ring N] [--flight] [--max-events N]
+                          [--output FILE]
+    repro-bench trace report DUMP.json
+    repro-bench trace export DUMP.json [--output FILE] [--validate]
+        Observability (:mod:`repro.obs`): ``run`` executes one
+        experiment with the event ring enabled and writes a trace dump
+        (spec + obs payload: per-event records, stall attribution,
+        kernel dispatch-tier mix); ``report`` summarizes a dump as
+        text tables; ``export`` converts a dump to Chrome trace-event
+        JSON loadable in Perfetto / ``chrome://tracing``
+        (``--validate`` schema-checks the result, as CI does).  See
+        ``docs/observability.md``.
 
     repro-bench fuzz run [--seed N] [--programs N] [--max-ops N]
                          [--rounds N] [--jobs N|auto] [--store DIR]
                          [--artifacts DIR] [--output FILE] [--no-timing]
-                         [--no-corpus] [--weaken MODE]
+                         [--no-corpus] [--weaken MODE] [--trace]
     repro-bench fuzz replay [--store DIR] [--artifacts DIR] [--jobs N]
                             [--no-timing]
     repro-bench fuzz corpus [--store DIR] [--artifacts DIR]
@@ -57,7 +86,10 @@ Five subcommands::
         byte-identical across backends for a fixed seed.  ``replay``
         re-checks every banked entry and exits nonzero on drift;
         ``corpus`` summarizes what is banked.  ``--weaken`` breaks a
-        mechanism on purpose (oracle self-test).
+        mechanism on purpose (oracle self-test).  ``--trace`` arms the
+        flight recorder: each shrunk timing violation re-runs with the
+        event ring on and the snapshot leading up to the firing
+        invariant lands under ``DIR/fuzz/flight/``.
 
     repro-bench store stats|verify [--store DIR]
     repro-bench store prune [--store DIR] [--max-age-days N] [--stale]
@@ -158,6 +190,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-bench",
         description="Run PIM consistency-model experiment sweeps.",
     )
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        choices=("debug", "info", "warning", "error",
+                                 "critical"),
+                        help="verbosity of the 'repro' logger hierarchy "
+                             "(overrides $REPRO_LOG; default: warning, "
+                             "or info for distributed commands)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered workloads")
@@ -201,6 +239,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="per-point wall-clock budget; a hung point "
                            "fails settled (and retryable) instead of "
                            "wedging its shard")
+    srun.add_argument("--trace", action="store_true",
+                      help="overlay stall-attribution tracing on "
+                           "execution (no event ring; spec hashes and "
+                           "the campaign digest are unchanged) and add "
+                           "the stall table to the output and --report")
+    srun.add_argument("--no-progress", action="store_true",
+                      help="suppress the stderr progress line "
+                           "(points done/total with ETA)")
     srun.add_argument("--distributed", action="store_true",
                       help="execute through the lease-protected work "
                            "queue under --store so repro-bench worker "
@@ -247,6 +293,66 @@ def _build_parser() -> argparse.ArgumentParser:
     qstatus.add_argument("--json", action="store_true",
                          help="emit the run rows as JSON (machine-"
                               "readable; an empty queue prints [])")
+    qtail = qsub.add_parser("tail",
+                            help="render the fleet's telemetry "
+                                 "(claims, points, heartbeats, "
+                                 "retries) as a live text view")
+    qtail.add_argument("--store", default=None, metavar="DIR",
+                       help="store directory (default: $REPRO_STORE)")
+    qtail.add_argument("--lines", type=int, default=20, metavar="N",
+                       help="show the last N records of the backlog "
+                            "first (0 for none)")
+    qtail.add_argument("--follow", action="store_true",
+                       help="keep polling for new records "
+                            "(Ctrl-C to stop)")
+    qtail.add_argument("--poll-s", type=float, default=0.5, metavar="N",
+                       help="poll interval while following")
+    qtail.add_argument("--max-s", type=float, default=None, metavar="N",
+                       help="stop following after N seconds "
+                            "(default: follow forever)")
+
+    trace = sub.add_parser("trace",
+                           help="record, report and export simulation "
+                                "traces (repro.obs)")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    trun = tsub.add_parser("run",
+                           help="run one experiment with tracing on "
+                                "and write the trace dump JSON")
+    trun.add_argument("workload", help="registered workload name")
+    trun.add_argument("--model", default="atomic",
+                      help="consistency model for the traced run")
+    trun.add_argument("--num-scopes", type=int, default=None, metavar="N",
+                      help="scope count (default: 4; for tpch, the "
+                           "query's scaled scope count)")
+    trun.add_argument("--param", action="append", default=[],
+                      metavar="KEY=VALUE", help="workload parameter")
+    trun.add_argument("--preset", default="scaled",
+                      choices=("scaled", "paper"),
+                      help="base system configuration")
+    trun.add_argument("--ring", type=int, default=65536, metavar="N",
+                      help="event ring capacity (oldest records drop "
+                           "when full; 0 keeps stalls only)")
+    trun.add_argument("--flight", action="store_true",
+                      help="arm the flight recorder: snapshot the ring "
+                           "the first time an invariant fires")
+    trun.add_argument("--max-events", type=int, default=200_000_000)
+    trun.add_argument("--variant", default="cli")
+    trun.add_argument("--output", default="trace.json", metavar="FILE",
+                      help="trace dump file to write")
+    treport = tsub.add_parser("report",
+                              help="summarize a trace dump as text "
+                                   "tables")
+    treport.add_argument("dump", help="trace dump file (from trace run)")
+    texport = tsub.add_parser("export",
+                              help="convert a trace dump to Chrome "
+                                   "trace-event JSON (Perfetto)")
+    texport.add_argument("dump", help="trace dump file (from trace run)")
+    texport.add_argument("--output", default=None, metavar="FILE",
+                         help="Chrome trace file to write (default: "
+                              "<dump>.chrome.json)")
+    texport.add_argument("--validate", action="store_true",
+                         help="schema-check the exported file (the CI "
+                              "trace-smoke gate)")
 
     from repro.fuzz.oracle import WEAKEN_CHOICES
 
@@ -283,6 +389,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="deliberately break a mechanism (oracle "
                            "self-test; violations are expected and the "
                            "command exits nonzero)")
+    frun.add_argument("--trace", action="store_true",
+                      help="flight-recorder mode: re-run each shrunk "
+                           "timing violation with the event ring armed "
+                           "and dump the snapshot under "
+                           "<artifacts>/fuzz/flight/")
     freplay = fsub.add_parser("replay",
                               help="re-check every banked corpus entry "
                                    "(regression suite)")
@@ -519,10 +630,11 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.report import (campaign_markdown, format_table,
-                                       latency_table)
+                                       latency_table, stalls_table)
     from repro.api.backends import WorkQueueBackend, backend_for
     from repro.api.runner import Runner
     from repro.api.sweep import load_results, run_campaign
+    from repro.sim.config import TraceConfig
 
     campaign = _load_campaign(args.campaign)
     jobs = _parse_jobs(args.jobs)
@@ -544,7 +656,6 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "--distributed needs a store (the queue lives under it): "
                 "pass --store DIR or set $REPRO_STORE")
-        _configure_logging()
         backend = WorkQueueBackend(
             store, shard_size=args.shard_size, lease_s=args.lease_s,
             grace_s=args.grace_s, max_attempts=args.max_attempts,
@@ -556,14 +667,25 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
           f"on the {backend.name} backend"
           + (f", store {store.root}" if store is not None else ""))
 
+    # Stall attribution only: no event ring, so traced store entries
+    # stay small.  Execution-side overlay -- spec hashes, store keys
+    # and the campaign digest are identical traced or not.
+    trace = TraceConfig(enabled=True, ring_size=0) if args.trace else None
+    progress = None if args.no_progress else _sweep_progress(len(points))
+
     runner = Runner(backend=backend, store=store)
-    result = run_campaign(campaign, runner=runner, resume=resume)
+    result = run_campaign(campaign, runner=runner, resume=resume,
+                          trace=trace, progress=progress)
     headers, rows = result.table()
     print(format_table(headers, rows, title=f"{campaign.name} campaign"))
     latency = latency_table(result)
     if latency is not None:
         print(format_table(latency[0], latency[1],
                            title="arrival-to-settle latency [cycles]"))
+    stalls = stalls_table(result)
+    if stalls is not None:
+        print(format_table(stalls[0], stalls[1],
+                           title="stall attribution per traced point"))
     if campaign.slo is not None:
         slo_headers, slo_rows = result.slo_table(campaign.slo)
         if slo_rows:
@@ -611,19 +733,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _cmd_sweep_run(args)
 
 
-def _configure_logging() -> None:
-    """INFO-level logging for the distributed machinery (idempotent)."""
-    import logging
+def _configure_logging(flag: Optional[str], default: str = "warning") -> None:
+    """Tune the ``repro`` logger hierarchy (idempotent, never the root).
 
-    logging.basicConfig(
-        level=logging.INFO,
-        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    Precedence: ``--log-level`` beats ``$REPRO_LOG`` beats ``default``.
+    The distributed machinery (worker, ``sweep run --distributed``)
+    defaults to info so fleet activity narrates itself.
+    """
+    from repro.obs.logconf import configure_logging
+
+    try:
+        configure_logging(flag, default=default)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _log_default(args: argparse.Namespace) -> str:
+    if args.command == "worker":
+        return "info"
+    if (args.command == "sweep"
+            and getattr(args, "sweep_command", None) == "run"
+            and args.distributed):
+        return "info"
+    return "warning"
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def _sweep_progress(total: int, stream=None):
+    """A ``progress(n)`` callback printing done/total + ETA to stderr.
+
+    ETA comes from a moving average over the most recent settled points
+    (the first batch is usually an instant flood of cache hits, which
+    the window ages out).  On a terminal the line redraws in place;
+    otherwise it prints at most every couple of seconds so CI logs stay
+    readable.
+    """
+    import collections
+    import time
+
+    stream = stream if stream is not None else sys.stderr
+    live = stream.isatty()
+    window = collections.deque(maxlen=32)  # (monotonic ts, points)
+    state = {"done": 0, "printed": -1e9, "width": 0}
+
+    def tick(n: int) -> None:
+        now = time.monotonic()
+        state["done"] += n
+        done = state["done"]
+        window.append((now, n))
+        final = done >= total
+        if not live and not final and now - state["printed"] < 2.0:
+            return
+        state["printed"] = now
+        eta = ""
+        if not final and len(window) >= 2:
+            span = now - window[0][0]
+            recent = sum(c for _, c in list(window)[1:])
+            if span > 0 and recent > 0:
+                eta = f", eta {_fmt_eta((total - done) * span / recent)}"
+        line = f"sweep: {done}/{total} points{eta}"
+        if live:
+            state["width"] = max(state["width"], len(line))
+            stream.write("\r" + line.ljust(state["width"]))
+            if final:
+                stream.write("\n")
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+
+    return tick
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.api.workqueue import run_worker
 
-    _configure_logging()
     store = _require_store(args)
     completed = run_worker(
         store, worker_id=args.id, poll_s=args.poll_s, once=args.once,
@@ -654,10 +845,227 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_queue_tail(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import (follow_telemetry, format_event,
+                                     read_telemetry, telemetry_path)
+
+    store = _require_store(args)
+    backlog = read_telemetry(store.root, last=args.lines)
+    if not backlog and not args.follow:
+        print(f"no telemetry at {telemetry_path(store.root)}")
+        return 0
+    for record in backlog:
+        print(format_event(record))
+    if not args.follow:
+        return 0
+    try:
+        for record in follow_telemetry(store.root, poll_s=args.poll_s,
+                                       stop_after_s=args.max_s,
+                                       start_at_end=True):
+            print(format_event(record), flush=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_queue(args: argparse.Namespace) -> int:
     return {
         "status": _cmd_queue_status,
+        "tail": _cmd_queue_tail,
     }[args.queue_command](args)
+
+
+#: Schema tag of the JSON file ``trace run`` writes.
+TRACE_DUMP_SCHEMA = "repro-trace-dump/1"
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api.backends import execute_experiment
+    from repro.obs.trace import stall_totals
+    from repro.sim.config import TraceConfig
+
+    if args.workload not in REGISTRY.names():
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; "
+            f"registered: {', '.join(REGISTRY.names())}")
+    models = _parse_models(args.model)
+    if len(models) != 1:
+        raise SystemExit("trace run traces exactly one model; pass "
+                         "--model NAME (got {})".format(args.model))
+    model = models[0]
+    params = _parse_params(args.param)
+    num_scopes = (args.num_scopes if args.num_scopes is not None
+                  else _default_scopes(args.workload, params))
+    if args.workload == "ycsb" and "num_records" not in params:
+        params["num_records"] = YCSB_RECORDS_PER_SCOPE * num_scopes
+    try:
+        experiment = Experiment.from_dict({
+            "workload": args.workload,
+            "params": params,
+            "config": {"preset": args.preset, "model": model.value,
+                       "num_scopes": num_scopes},
+            "variant": args.variant,
+            "max_events": args.max_events,
+        })
+        experiment.build_workload()
+    except (TypeError, KeyError, ValueError) as exc:
+        raise SystemExit(
+            f"invalid parameters for workload {args.workload!r}: {exc}"
+        ) from None
+
+    # Tracing rides as an execution overlay: the spec (and its hash)
+    # stays exactly what an untraced run would use.
+    trace = TraceConfig(enabled=True, ring_size=args.ring,
+                        flight=args.flight)
+    result = execute_experiment(experiment, trace=trace)
+    obs = result.obs or {}
+    dump = {
+        "schema": TRACE_DUMP_SCHEMA,
+        "spec": experiment.to_dict(),
+        "spec_hash": experiment.spec_hash(),
+        "result": {"run_time": result.run_time, "events": result.events,
+                   "stale_reads": result.stale_reads},
+        "obs": obs,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(dump, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"traced {args.workload} [{model.value}, {num_scopes} scopes]: "
+          f"run_time {result.run_time}, {result.events} events, "
+          f"{result.stale_reads} stale reads")
+    if "events_recorded" in obs:
+        print(f"ring: {len(obs.get('events', []))} records kept of "
+              f"{obs['events_recorded']} recorded "
+              f"({obs.get('events_dropped', 0)} dropped)")
+    totals = stall_totals(obs)
+    if totals:
+        print("stalls: " + ", ".join(f"{r}={n}" for r, n in totals.items()))
+    if obs.get("flight_triggers"):
+        flight = obs.get("flight") or {}
+        where = (f", snapshot at cycle {flight.get('cycle')} "
+                 f"({flight.get('trigger')} in {flight.get('component')})"
+                 if flight else "")
+        print(f"flight recorder: {obs['flight_triggers']} trigger(s)"
+              + where)
+    print(f"wrote trace dump {args.output}")
+    return 0
+
+
+def _load_trace_dump(path: str) -> dict:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            dump = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace dump {path!r}: {exc}") \
+            from None
+    if not isinstance(dump, dict) or dump.get("schema") != TRACE_DUMP_SCHEMA:
+        raise SystemExit(
+            f"{path!r} is not a trace dump (expected schema "
+            f"{TRACE_DUMP_SCHEMA!r}; write one with: repro-bench trace "
+            f"run WORKLOAD --output {path})")
+    return dump
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.obs.trace import STALL_REASONS
+
+    dump = _load_trace_dump(args.dump)
+    spec = dump.get("spec", {})
+    config = spec.get("config", {})
+    result = dump.get("result", {})
+    obs = dump.get("obs", {})
+    print(f"trace dump {args.dump}: {spec.get('workload', '?')} "
+          f"[{config.get('model', '?')}, "
+          f"{config.get('num_scopes', '?')} scopes], "
+          f"spec {str(dump.get('spec_hash', '?'))[:12]}")
+    print(f"result: run_time {result.get('run_time', '?')}, "
+          f"{result.get('events', '?')} events, "
+          f"{result.get('stale_reads', '?')} stale reads")
+
+    kernel = obs.get("kernel")
+    if kernel:
+        total = max(1, kernel.get("ring_events", 0)
+                    + kernel.get("wheel_events", 0)
+                    + kernel.get("heap_events", 0))
+        rows = [[tier, kernel.get(f"{tier}_events", 0),
+                 f"{100.0 * kernel.get(f'{tier}_events', 0) / total:.1f}%"]
+                for tier in ("ring", "wheel", "heap")]
+        print(format_table(["tier", "events", "share"], rows,
+                           title=f"kernel dispatch mix "
+                                 f"({kernel.get('cycles', '?')} cycles)"))
+    if "events_recorded" in obs:
+        print(f"ring: {len(obs.get('events', []))} records kept of "
+              f"{obs['events_recorded']} recorded "
+              f"({obs.get('events_dropped', 0)} dropped)")
+
+    stalls = obs.get("stalls") or {}
+    if stalls:
+        reasons = sorted(
+            {r for bucket in stalls.values() for r in bucket},
+            key=lambda r: (STALL_REASONS.index(r)
+                           if r in STALL_REASONS else len(STALL_REASONS),
+                           r))
+        rows = [[component] + [bucket.get(r, 0) for r in reasons]
+                for component, bucket in sorted(stalls.items())]
+        print(format_table(
+            ["component"] + list(reasons), rows,
+            title="stall attribution (cycles or incident counts; "
+                  "see docs/observability.md)"))
+    else:
+        print("no stalls recorded")
+
+    if obs.get("flight_triggers"):
+        print(f"flight triggers: {obs['flight_triggers']}")
+    flight = obs.get("flight")
+    if flight:
+        print(f"flight snapshot: {flight.get('trigger')} at cycle "
+              f"{flight.get('cycle')} in {flight.get('component')} "
+              f"(op {flight.get('op_id')}, "
+              f"{len(flight.get('events', []))} ring records)")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.chrome import chrome_trace, validate_file
+
+    dump = _load_trace_dump(args.dump)
+    try:
+        trace = chrome_trace(dump.get("obs") or {})
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    output = args.output
+    if output is None:
+        base = args.dump[:-5] if args.dump.endswith(".json") else args.dump
+        output = base + ".chrome.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote Chrome trace {output} "
+          f"({len(trace['traceEvents'])} trace events; load it in "
+          f"https://ui.perfetto.dev or chrome://tracing)")
+    if args.validate:
+        try:
+            validate_file(output)
+        except ValueError as exc:
+            print(f"INVALID: {exc}")
+            return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return {
+        "run": _cmd_trace_run,
+        "report": _cmd_trace_report,
+        "export": _cmd_trace_export,
+    }[args.trace_command](args)
 
 
 def _cmd_store_stats(args: argparse.Namespace) -> int:
@@ -773,7 +1181,8 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     report = fuzz_run(
         seed=args.seed, programs=args.programs, max_ops=args.max_ops,
         jobs=_parse_jobs(args.jobs), store=store, corpus_root=corpus_root,
-        timing=not args.no_timing, rounds=args.rounds, weaken=args.weaken)
+        timing=not args.no_timing, rounds=args.rounds, weaken=args.weaken,
+        flight=args.trace)
     print(f"fuzz run: seed {report['seed']}, "
           f"{report['programs']} scenarios "
           f"({report['distinct_programs']} distinct, "
@@ -796,6 +1205,9 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
               f"{json.dumps(violation['program']['threads'])}")
     if corpus_root is not None and report["violations"]:
         print(f"minimal repros under {corpus_root}/fuzz/repros/")
+    if report.get("flight_dumps"):
+        print(f"{len(report['flight_dumps'])} flight-recorder dumps "
+              f"under {corpus_root}/fuzz/flight/")
     print(f"report digest: {report['digest']}")
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -860,7 +1272,14 @@ def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
         print(f"repro {repro['digest']}: {repro['invariant']} under "
               f"{repro['model']}, {repro['op_count']} ops "
               f"(seed {repro.get('seed', '?')})")
-    print(f"{len(rows)} corpus entries, {len(repros)} minimal repros")
+    flights = list(corpus.flights())
+    for dump in flights:
+        snapshot = dump.get("flight") or {}
+        print(f"flight {dump['digest']}: {dump.get('invariant', '?')} "
+              f"under {dump.get('model', '?')}, "
+              f"{len(snapshot.get('events', []))} ring records")
+    print(f"{len(rows)} corpus entries, {len(repros)} minimal repros, "
+          f"{len(flights)} flight dumps")
     return 0
 
 
@@ -937,6 +1356,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.api.perf import main as perf_main
         return perf_main(arg_list[1:])
     args = _build_parser().parse_args(arg_list)
+    _configure_logging(args.log_level, default=_log_default(args))
     if args.command == "list":
         return _cmd_list()
     if args.command == "sweep":
@@ -947,6 +1367,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "queue":
         return _cmd_queue(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     return _cmd_run(args)

@@ -37,6 +37,10 @@ from repro.api.experiment import Experiment
 #: Schema tag stored in benchmark JSON files.
 SCHEMA = "repro-bench-perf/v1"
 
+#: The tracked benchmark file at the repo root; ``repro-bench perf``
+#: reads it for the trajectory columns when no ``--check`` is given.
+TRACKED_FILE = "BENCH_kernel.json"
+
 #: The pinned benchmark points.  Do not retune these casually: the
 #: checked-in baseline numbers (and result digests) are tied to them.
 PERF_CONFIGS: Dict[str, dict] = {
@@ -300,19 +304,61 @@ def check_against_baseline(current: dict, baseline: dict,
     return failures
 
 
+def _speedup_sections(baseline: Optional[dict]) -> List:
+    """The (label, configs) speedup columns a baseline record provides.
+
+    A tracked file (``BENCH_kernel.json``) carries the seed measurement
+    in ``baseline`` and one snapshot per past optimization PR in
+    ``history``; each becomes a column, plus the file's current
+    ``configs`` as ``vs-last`` -- the per-config trajectory.  A plain
+    measurement record (``--output`` of an earlier run) yields the
+    single classic ``speedup`` column.
+    """
+    if baseline is None:
+        return []
+    sections = []
+    base_configs = baseline.get("baseline", {}).get("configs")
+    history = baseline.get("history", {})
+    if base_configs or history:
+        if base_configs:
+            sections.append(("vs-seed", base_configs))
+        for key in sorted(history):
+            configs = history[key].get("configs")
+            if configs:
+                sections.append((f"vs-{key}", configs))
+        if baseline.get("configs"):
+            sections.append(("vs-last", baseline["configs"]))
+    elif baseline.get("configs"):
+        sections.append(("speedup", baseline["configs"]))
+    return sections
+
+
 def format_report(record: dict, baseline: Optional[dict] = None) -> str:
-    """A fixed-width table of one measurement (vs. a baseline if given)."""
-    lines = [f"{'config':<10} {'events':>10} {'run_time':>10} "
-             f"{'wall (s)':>9} {'events/sec':>12}  speedup"]
+    """A fixed-width table of one measurement (vs. a baseline if given).
+
+    With a tracked baseline file the table grows one speedup column per
+    stored section (seed baseline, each ``history`` snapshot, the last
+    recorded measurement), so ``repro-bench perf`` shows where each
+    config's throughput stands in the kernel's PR-by-PR trajectory.
+    Ratios against checked-in numbers are machine-dependent; they are
+    only exact when the sections were measured on this machine.
+    """
+    sections = _speedup_sections(baseline)
+    lines = [f"{'config':<16} {'events':>10} {'run_time':>10} "
+             f"{'wall (s)':>9} {'events/sec':>12}"
+             + "".join(f"  {label:>8}" for label, _ in sections)]
     for name, cur in record["configs"].items():
-        speedup = ""
-        if baseline is not None:
-            base = baseline.get("configs", {}).get(name)
+        cells = ""
+        for _, configs in sections:
+            base = configs.get(name)
             if base and base.get("events_per_sec"):
-                speedup = f"{cur['events_per_sec'] / base['events_per_sec']:.2f}x"
+                ratio = cur["events_per_sec"] / base["events_per_sec"]
+                cells += f"  {ratio:>7.2f}x"
+            else:
+                cells += f"  {'-':>8}"
         lines.append(
-            f"{name:<10} {cur['events']:>10,} {cur['run_time']:>10,} "
-            f"{cur['wall_s']:>9.3f} {cur['events_per_sec']:>12,}  {speedup}"
+            f"{name:<16} {cur['events']:>10,} {cur['run_time']:>10,} "
+            f"{cur['wall_s']:>9.3f} {cur['events_per_sec']:>12,}{cells}"
         )
     return "\n".join(lines)
 
@@ -439,7 +485,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     record = run_suite(names, repeats=args.repeats)
     baseline = load_baseline(args.check) if args.check else None
-    print(format_report(record, baseline))
+    display = baseline
+    if display is None:
+        # Default trajectory view: the tracked file's baseline/history
+        # sections, when it is present where the command runs.
+        try:
+            display = load_baseline(TRACKED_FILE)
+        except (FileNotFoundError, ValueError):
+            display = None
+    print(format_report(record, display))
+    if display is not None and display is not baseline \
+            and _speedup_sections(display):
+        print(f"(speedup columns from {TRACKED_FILE} sections; ratios "
+              f"are machine-dependent)")
     if args.output:
         write_record(args.output, record)
         print(f"wrote {args.output}")

@@ -98,7 +98,8 @@ class Runner:
                         pass
         return [memo[h] for h in hashes]
 
-    def run_settled(self, experiments: Iterable[Experiment]) -> List[Outcome]:
+    def run_settled(self, experiments: Iterable[Experiment],
+                    trace=None, progress=None) -> List[Outcome]:
         """Run a sweep with per-point failure isolation.
 
         Same batch path as :meth:`run_all` -- one dispatch of the cache
@@ -108,17 +109,45 @@ class Runner:
         store attached, successes are written through by the executing
         worker itself, so a campaign killed mid-batch keeps every point
         that finished.
+
+        ``trace`` (a :class:`~repro.sim.config.TraceConfig`) overlays
+        observability on execution without changing spec hashes -- cache
+        and store keys are identical traced or not.  ``progress`` is
+        called with point counts as they settle; cache and store hits
+        are reported upfront, and duplicate specs count as many points
+        as they serve.
         """
         hashes, memo, missing = self._partition(experiments)
+        backend_progress = None
+        if progress is not None:
+            # Per-unique-spec dup weights, consumed in dispatch order so
+            # a spec appearing N times in the batch advances N points.
+            weights = {h: 0 for h in missing}
+            cached = 0
+            for h in hashes:
+                if h in weights:
+                    weights[h] += 1
+                else:
+                    cached += 1
+            if cached:
+                progress(cached)
+            queue = [weights[h] for h in missing]
+            it = iter(queue)
+
+            def backend_progress(n: int) -> None:
+                progress(sum(next(it, 1) for _ in range(n)))
+
         failed: Dict[str, str] = {}
         if missing:
             self.dispatch_count += len(missing)
             specs = list(missing.values())
             if self.store is not None:
-                outcomes = self.backend.run_all_settled(specs,
-                                                        store=self.store)
+                outcomes = self.backend.run_all_settled(
+                    specs, store=self.store, trace=trace,
+                    progress=backend_progress)
             else:
-                outcomes = self.backend.run_all_settled(specs)
+                outcomes = self.backend.run_all_settled(
+                    specs, trace=trace, progress=backend_progress)
             for h, outcome in zip(missing.keys(), outcomes):
                 if isinstance(outcome, ExperimentFailure):
                     failed[h] = outcome.error

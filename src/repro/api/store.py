@@ -105,8 +105,8 @@ QUARANTINE_DIR = "quarantine"
 #: layer (specs, sweeps, CLI) and analysis/report formatting are
 #: deliberately excluded: they decide *which* experiments run and how
 #: results print, never what a run computes.
-_ENGINE_PACKAGES = ("core", "host", "memory", "pim", "sim", "system",
-                    "workloads")
+_ENGINE_PACKAGES = ("core", "host", "memory", "obs", "pim", "sim",
+                    "system", "workloads")
 
 _fingerprint_cache: Optional[str] = None
 

@@ -714,6 +714,8 @@ def run_campaign(
     jobs: Optional[int] = None,
     resume: Optional[Mapping[str, SimulationResult]] = None,
     store=None,
+    trace=None,
+    progress=None,
 ) -> CampaignResult:
     """Execute a campaign and aggregate its outcomes.
 
@@ -729,6 +731,13 @@ def run_campaign(
     as they finish.  It generalizes the ``resume`` artifact path -- no
     artifact file to thread through, any campaign sharing specs shares
     the cache.  Pass it here or build the Runner yourself, not both.
+
+    ``trace`` (a :class:`~repro.sim.config.TraceConfig`) overlays
+    observability on execution: results gain an ``obs`` payload (stall
+    attribution, kernel tier counts) while the specs, their hashes and
+    the campaign digest stay untouched -- :meth:`CampaignResult.digest`
+    hashes only the simulation outcome.  ``progress`` is called with
+    point counts as they settle (``sweep run``'s progress line).
     """
     if runner is None:
         runner = Runner(backend=backend_for(jobs if jobs else 1),
@@ -741,7 +750,8 @@ def run_campaign(
     if resume:
         runner.preload(resume)
     points = campaign.points()
-    outcomes = runner.run_settled([p.experiment for p in points])
+    outcomes = runner.run_settled([p.experiment for p in points],
+                                  trace=trace, progress=progress)
     return CampaignResult(campaign, [
         PointResult(name=p.name, sweep=p.sweep, coords=p.coords,
                     experiment=p.experiment, result=result, error=error)

@@ -58,13 +58,14 @@ the tests and the CI chaos job):
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import os
 import random
 import shutil
 import socket
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.backends import (
     ExecutionBackend,
@@ -80,6 +81,8 @@ from repro.api.store import (
     read_json,
     try_create_json,
 )
+from repro.obs.telemetry import TelemetryWriter
+from repro.sim.config import TraceConfig
 
 __all__ = [
     "CHAOS_ENV",
@@ -198,13 +201,19 @@ class ChaosPlan:
 
 
 def _publish_run(store: ResultStore, experiments: Sequence[Experiment],
-                 shard_size: int, lease_s: float) -> Tuple[str, List[str]]:
+                 shard_size: int, lease_s: float,
+                 trace: Optional[TraceConfig] = None,
+                 ) -> Tuple[str, List[str]]:
     """Shard ``experiments`` into task files; returns (run_dir, shards).
 
     Every task file is complete and self-describing -- a worker needs no
     other state to execute it -- and published atomically, so a worker
     scanning mid-publication sees only whole tasks.  The manifest is
     written last and marks the run fully published.
+
+    A ``trace`` overlay rides in the task file (never in the specs), so
+    workers trace their points without the spec hashes -- the store keys
+    and campaign digests -- changing.
     """
     from repro.api.sweep import shard_slices
 
@@ -215,7 +224,7 @@ def _publish_run(store: ResultStore, experiments: Sequence[Experiment],
     for index, sl in enumerate(slices):
         shard = f"{index:04d}"
         shards.append(shard)
-        atomic_write_json(os.path.join(run_dir, "tasks", f"{shard}.json"), {
+        task = {
             "schema": TASK_SCHEMA,
             "run": run_id,
             "shard": shard,
@@ -227,7 +236,11 @@ def _publish_run(store: ResultStore, experiments: Sequence[Experiment],
                 {"spec_hash": e.spec_hash(), "experiment": e.to_dict()}
                 for e in experiments[sl]
             ],
-        })
+        }
+        if trace is not None:
+            task["trace"] = dataclasses.asdict(trace)
+        atomic_write_json(os.path.join(run_dir, "tasks", f"{shard}.json"),
+                          task)
     atomic_write_json(os.path.join(run_dir, "manifest.json"), {
         "schema": MANIFEST_SCHEMA,
         "run": run_id,
@@ -275,6 +288,9 @@ class QueueWorker:
         self.chaos = chaos if chaos is not None else ChaosPlan.from_env()
         self.tasks_done = 0
         self.points_run = 0
+        #: Structured JSONL telemetry (``repro-bench queue tail``);
+        #: observability only, never load-bearing for the protocol.
+        self.telemetry = TelemetryWriter(store.root, self.worker_id)
 
     # -- queue scan ------------------------------------------------------ #
 
@@ -344,30 +360,49 @@ class QueueWorker:
 
     def process_task(self, run_dir: str, task: dict, lease: dict) -> bool:
         """Execute one claimed task; ``True`` if the done report landed."""
+        run_id, shard = task.get("run"), task["shard"]
+        trace_dict = task.get("trace")
+        trace = TraceConfig(**trace_dict) if trace_dict else None
+        self.telemetry.emit("start", run=run_id, shard=shard,
+                            points=len(task["points"]),
+                            attempt=task.get("attempt", 0))
         outcomes: Dict[str, dict] = {}
         for point in task["points"]:
             spec_hash = point["spec_hash"]
             if self.store.get(spec_hash) is not None:
                 outcomes[spec_hash] = {"status": "ok"}  # idempotent skip
+                self.telemetry.emit("point", run=run_id, shard=shard,
+                                    spec=spec_hash[:12], status="cached")
                 continue
             experiment = Experiment.from_dict(point["experiment"])
-            outcome = execute_experiment_settled_store(self.store, experiment)
+            outcome = execute_experiment_settled_store(self.store, experiment,
+                                                       trace=trace)
             self.points_run += 1
             if isinstance(outcome, ExperimentFailure):
                 # Deterministic: the spec itself fails; report as data.
                 outcomes[spec_hash] = {"status": "failed",
                                        "error": outcome.error}
+                status = "failed"
             else:
                 outcomes[spec_hash] = {"status": "ok"}
                 self.chaos.on_store_write(self.store, spec_hash)
+                status = "ok"
+            self.telemetry.emit("point", run=run_id, shard=shard,
+                                spec=spec_hash[:12], status=status)
             self.chaos.on_point_executed()
             if not self._heartbeat(run_dir, lease):
                 logger.warning(
                     "worker %s: lost lease on shard %s/%s, abandoning "
                     "(%d/%d points done; progress is in the store)",
-                    self.worker_id, task.get("run"), task["shard"],
+                    self.worker_id, run_id, shard,
                     len(outcomes), len(task["points"]))
+                self.telemetry.emit("abandon", run=run_id, shard=shard,
+                                    done=len(outcomes),
+                                    points=len(task["points"]))
                 return False
+            self.telemetry.emit("heartbeat", run=run_id, shard=shard,
+                                done=len(outcomes),
+                                points=len(task["points"]))
         _, lease_path, done_path = _shard_paths(run_dir, task["shard"])
         atomic_write_json(done_path, {
             "schema": DONE_SCHEMA,
@@ -381,8 +416,10 @@ class QueueWorker:
         except OSError:
             pass
         self.tasks_done += 1
+        self.telemetry.emit("finish", run=run_id, shard=shard,
+                            points=len(task["points"]))
         logger.info("worker %s: completed shard %s/%s (%d points)",
-                    self.worker_id, task.get("run"), task["shard"],
+                    self.worker_id, run_id, shard,
                     len(task["points"]))
         return True
 
@@ -393,6 +430,10 @@ class QueueWorker:
             lease = self._acquire(run_dir, task)
             if lease is None:
                 continue  # lost the claim race
+            self.telemetry.emit("claim", run=task.get("run"),
+                                shard=task["shard"],
+                                points=len(task["points"]),
+                                attempt=task.get("attempt", 0))
             logger.info("worker %s: claimed shard %s/%s (%d points)",
                         self.worker_id, task.get("run"), task["shard"],
                         len(task["points"]))
@@ -496,6 +537,10 @@ class Coordinator:
         self.backoff_cap_s = backoff_cap_s
         self.fallback = fallback if fallback is not None else SerialBackend()
         self.rng = rng if rng is not None else random.Random()
+        self.telemetry = TelemetryWriter(store.root, "coordinator")
+        #: Per-run execution-side state (set by :meth:`run`).
+        self._trace: Optional[TraceConfig] = None
+        self._progress: Optional[Callable[[int], None]] = None
         #: Supervision counters (tests and ``--distributed`` reporting).
         self.stats = {
             "shards": 0,
@@ -527,6 +572,8 @@ class Coordinator:
         except OSError:
             return False  # the worker finished or another reap won
         self.stats["expired_leases"] += 1
+        self.telemetry.emit("reap", shard=state.shard,
+                            worker=lease.get("worker", "?"))
         logger.warning(
             "coordinator: lease on shard %s by worker %s expired; "
             "re-dispatching", state.shard, lease.get("worker", "?"))
@@ -539,6 +586,8 @@ class Coordinator:
         self.stats["retries"] += 1
         delay = backoff_delay(state.attempt, self.backoff_base_s,
                               self.backoff_cap_s, self.rng)
+        self.telemetry.emit("retry", shard=state.shard,
+                            attempt=state.attempt, delay=round(delay, 3))
         state.claimable_since = now + delay
         task = read_json(task_path)
         if task is None:
@@ -584,6 +633,8 @@ class Coordinator:
         state.outcomes = {h: outcomes[h] for h in state.spec_hashes}
         if done.get("worker") != "coordinator":
             self.stats["worker_shards"] += 1
+        if self._progress is not None:
+            self._progress(len(state.spec_hashes))
 
     def _run_locally(self, run_dir: str, task: dict,
                      state: _ShardState) -> None:
@@ -602,12 +653,15 @@ class Coordinator:
         if not try_create_json(lease_path, lease):
             return  # a worker claimed it between the scan and now
         self.stats["local_shards"] += 1
+        self.telemetry.emit("local", shard=state.shard,
+                            points=len(task["points"]))
         logger.info("coordinator: running shard %s locally (%d points)",
                     state.shard, len(task["points"]))
         experiments = [Experiment.from_dict(p["experiment"])
                        for p in task["points"]]
         settled = self.fallback.run_all_settled(experiments,
-                                                store=self.store)
+                                                store=self.store,
+                                                trace=self._trace)
         outcomes = {}
         for point, outcome in zip(task["points"], settled):
             if isinstance(outcome, ExperimentFailure):
@@ -634,13 +688,25 @@ class Coordinator:
 
     # -- the supervision loop -------------------------------------------- #
 
-    def run(self, experiments: Sequence[Experiment]) -> List[Settled]:
-        """Execute a batch through the queue; settled, input order."""
+    def run(self, experiments: Sequence[Experiment],
+            trace: Optional[TraceConfig] = None,
+            progress: Optional[Callable[[int], None]] = None,
+            ) -> List[Settled]:
+        """Execute a batch through the queue; settled, input order.
+
+        ``trace`` rides in the published task files so every executor --
+        remote worker or local fallback -- applies the same
+        observability overlay; ``progress`` is called with a point count
+        each time a shard settles.
+        """
         experiments = list(experiments)
         if not experiments:
             return []
+        self._trace = trace
+        self._progress = progress
         run_dir, shards = _publish_run(self.store, experiments,
-                                       self.shard_size, self.lease_s)
+                                       self.shard_size, self.lease_s,
+                                       trace=trace)
         from repro.api.sweep import shard_slices
 
         now = time.time()
@@ -651,6 +717,8 @@ class Coordinator:
                 shards, shard_slices(len(experiments), self.shard_size))
         ]
         self.stats["shards"] = len(states)
+        self.telemetry.emit("publish", run=os.path.basename(run_dir),
+                            shards=len(states), points=len(experiments))
         logger.info(
             "coordinator: published run %s (%d points in %d shards) under "
             "%s", os.path.basename(run_dir), len(experiments), len(states),
@@ -659,6 +727,8 @@ class Coordinator:
             self._supervise(run_dir, states)
             return self._assemble(experiments, states)
         finally:
+            self._trace = None
+            self._progress = None
             shutil.rmtree(run_dir, ignore_errors=True)
 
     def _supervise(self, run_dir: str, states: List[_ShardState]) -> None:
@@ -679,6 +749,8 @@ class Coordinator:
                     # the rest lost.
                     state.finished = True
                     state.outcomes = {}
+                    if self._progress is not None:
+                        self._progress(len(state.spec_hashes))
                     continue
                 pending = True
                 if os.path.exists(lease_path):

@@ -16,6 +16,11 @@ same arrangement the work queue uses for ``queue/``:
   shrinker produced from invariant violations: the shrunk program, the
   violation (outcome, happens-before cycle), shrink provenance and the
   root seed.  CI uploads these on failure.
+* ``fuzz/flight/<digest>-<model>.json`` -- flight-recorder dumps
+  (``fuzz run --trace``): the shrunk violating program re-run with the
+  event ring armed, snapshotting the last trace records leading up to
+  the moment the invariant fired.  Deterministic, so a dump replays to
+  the byte-identical snapshot.
 
 Writes go through :func:`repro.api.store.atomic_write_json`, so corpus
 growth is safe under concurrent fuzz runs sharing a store.
@@ -30,12 +35,13 @@ from repro.api.store import atomic_write_json, read_json
 from repro.fuzz import oracle
 from repro.fuzz.program import FuzzProgram
 
-__all__ = ["CORPUS_SCHEMA", "REPRO_SCHEMA", "FuzzCorpus", "corpus_entry",
-           "replay_entry"]
+__all__ = ["CORPUS_SCHEMA", "FLIGHT_SCHEMA", "REPRO_SCHEMA", "FuzzCorpus",
+           "corpus_entry", "replay_entry"]
 
-#: Schema tags of the two artifact kinds.
+#: Schema tags of the artifact kinds.
 CORPUS_SCHEMA = "repro-fuzz-corpus/1"
 REPRO_SCHEMA = "repro-fuzz-repro/1"
+FLIGHT_SCHEMA = "repro-fuzz-flight/1"
 
 #: Directory under a store root holding fuzz state.
 FUZZ_DIR = "fuzz"
@@ -90,6 +96,7 @@ class FuzzCorpus:
         self.root = os.path.join(os.fspath(store_root), FUZZ_DIR)
         self.corpus_dir = os.path.join(self.root, "corpus")
         self.repro_dir = os.path.join(self.root, "repros")
+        self.flight_dir = os.path.join(self.root, "flight")
 
     # -- corpus ---------------------------------------------------------- #
 
@@ -134,3 +141,22 @@ class FuzzCorpus:
             repro = read_json(os.path.join(self.repro_dir, filename))
             if repro is not None:
                 yield repro
+
+    # -- flight dumps ----------------------------------------------------- #
+
+    def write_flight(self, dump: Dict[str, object]) -> str:
+        """Persist one flight-recorder dump; returns its path."""
+        name = f"{dump['digest']}-{dump['model']}.json"
+        path = os.path.join(self.flight_dir, name)
+        atomic_write_json(path, dump)
+        return path
+
+    def flights(self) -> Iterator[Dict[str, object]]:
+        if not os.path.isdir(self.flight_dir):
+            return
+        for filename in sorted(os.listdir(self.flight_dir)):
+            if not filename.endswith(".json"):
+                continue
+            dump = read_json(os.path.join(self.flight_dir, filename))
+            if dump is not None:
+                yield dump

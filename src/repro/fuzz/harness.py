@@ -29,16 +29,20 @@ from repro.api.experiment import Experiment
 from repro.api.runner import Runner
 from repro.core.models import ConsistencyModel
 from repro.fuzz import oracle
-from repro.fuzz.corpus import REPRO_SCHEMA, FuzzCorpus, corpus_entry, replay_entry
+from repro.fuzz.corpus import (FLIGHT_SCHEMA, REPRO_SCHEMA, FuzzCorpus,
+                               corpus_entry, replay_entry)
 from repro.fuzz.generate import GeneratorKnobs, generate_batch
 from repro.fuzz.program import FuzzProgram
 from repro.fuzz.shrink import shrink
 
-__all__ = ["REPORT_SCHEMA", "SIX_MODELS", "fuzz_run", "replay_corpus",
-           "timing_experiment"]
+__all__ = ["REPORT_SCHEMA", "SIX_MODELS", "flight_dump", "fuzz_run",
+           "replay_corpus", "timing_experiment"]
 
 #: Schema tag of a fuzz run report.
 REPORT_SCHEMA = "repro-fuzz-report/1"
+
+#: Event-ring capacity for flight-recorder captures.
+FLIGHT_RING = 4096
 
 #: The evaluation's six models, figure order (timing leg sweep).
 SIX_MODELS = ("naive", "sw-flush", "atomic", "store", "scope",
@@ -63,6 +67,41 @@ def timing_experiment(program: FuzzProgram, model: str,
         "variant": "fuzz",
         "max_events": MAX_EVENTS,
     })
+
+
+def flight_dump(program: FuzzProgram, model: str, rounds: int = 2,
+                ring: int = FLIGHT_RING,
+                seed: Optional[int] = None,
+                invariant: str = "timing-stale") -> Dict[str, object]:
+    """Re-run one program x model point with the flight recorder armed.
+
+    The trace rides as an execution overlay
+    (:class:`~repro.sim.config.TraceConfig`), so the experiment spec --
+    and any cached result keyed on it -- is exactly the untraced one.
+    The returned dump is self-describing and deterministic: replaying
+    it (calling this again on the embedded program) reproduces the
+    byte-identical snapshot, which ``tests/fuzz`` asserts.
+    """
+    from repro.api.backends import execute_experiment
+    from repro.sim.config import TraceConfig
+
+    trace = TraceConfig(enabled=True, ring_size=ring, flight=True)
+    result = execute_experiment(
+        timing_experiment(program, model, rounds), trace=trace)
+    obs = result.obs or {}
+    return {
+        "schema": FLIGHT_SCHEMA,
+        "digest": program.digest(),
+        "invariant": invariant,
+        "model": model,
+        "seed": seed,
+        "rounds": rounds,
+        "ring": ring,
+        "program": program.to_dict(),
+        "stale_reads": result.stale_reads,
+        "flight_triggers": obs.get("flight_triggers", 0),
+        "flight": obs.get("flight"),
+    }
 
 
 def _shrink_predicate(invariant: str, model: str, weaken: Optional[str],
@@ -131,7 +170,8 @@ def fuzz_run(seed: int, programs: int = 200,
              corpus_root: Optional[str] = None,
              timing: bool = True,
              rounds: int = 2,
-             weaken: Optional[str] = None) -> Dict[str, object]:
+             weaken: Optional[str] = None,
+             flight: bool = False) -> Dict[str, object]:
     """One differential fuzz campaign; returns the deterministic report.
 
     Args:
@@ -148,6 +188,11 @@ def fuzz_run(seed: int, programs: int = 200,
         rounds: timing-workload repetitions per scenario.
         weaken: deliberate mechanism break (``"no-atomic-flush"``) --
             the oracle self-test; violations are expected and shrunk.
+        flight: flight-recorder mode (``fuzz run --trace``): every
+            shrunk ``timing-stale`` violation is re-run with the event
+            ring armed and the snapshot leading up to the firing
+            invariant lands under ``<corpus_root>/fuzz/flight/``.  The
+            report itself is unchanged unless a dump was written.
 
     The report's ``violations`` list is empty exactly when every
     invariant held; the CLI turns non-empty into a nonzero exit.
@@ -162,6 +207,7 @@ def fuzz_run(seed: int, programs: int = 200,
     shrink_runner = Runner(backend=backend_for(1), store=store)
 
     repro_docs: List[Dict[str, object]] = []
+    flight_dumps: List[str] = []
     controls = {model.value: 0 for model in CONTROL_MODELS}
     clean: List[FuzzProgram] = []
 
@@ -180,6 +226,16 @@ def fuzz_run(seed: int, programs: int = 200,
             shrunk, checks = shrink(program, predicate)
             repro_docs.append(_repro(
                 program, shrunk, checks, violation, seed, weaken))
+            if (flight and fuzz_store is not None
+                    and violation.invariant == "timing-stale"):
+                # The invariant fired on the timing simulator: capture
+                # the moments leading up to it on the *shrunk* program,
+                # next to its minimal repro.
+                dump = flight_dump(shrunk, violation.model,
+                                   rounds_for_shrink, seed=seed)
+                fuzz_store.write_flight(dump)
+                flight_dumps.append(
+                    f"{dump['digest']}-{dump['model']}")
 
     for program in batch:
         violations = oracle.check_program(program, weaken)
@@ -260,6 +316,8 @@ def fuzz_run(seed: int, programs: int = 200,
         "corpus_added": corpus_added,
         "violations": repro_docs,
     }
+    if flight_dumps:
+        report["flight_dumps"] = sorted(flight_dumps)
     report["digest"] = _report_digest(report)
     return report
 

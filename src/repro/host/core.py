@@ -59,7 +59,8 @@ class Core(Component):
                  "outstanding_flushes", "outstanding_by_scope",
                  "_waiting_pim_ack", "_at_barrier", "_step_scheduled",
                  "stats", "_stale_reads", "_loads", "_stores", "_pim_ops",
-                 "finish_time", "_step_bound", "_ep_offer", "traffic")
+                 "finish_time", "_step_bound", "_ep_offer", "traffic",
+                 "_stalls", "_fence_wait_since")
 
     def __init__(
         self,
@@ -118,6 +119,11 @@ class Core(Component):
         #: the legacy closed loop with zero overhead outside the rare
         #: BARRIER/ARRIVE branches.
         self.traffic = None
+        #: Stall-attribution bucket (a Tracer-owned dict) when this run
+        #: traces, else None; reasons: admission_wait/admission_shed
+        #: (ARRIVE verdicts) and fence_wait (blocked fence cycles).
+        self._stalls = None
+        self._fence_wait_since: Optional[int] = None
 
     def _flush_stats(self) -> None:
         stats = self.stats
@@ -253,10 +259,17 @@ class Core(Component):
         traffic.settle(now)
         verdict = traffic.poll(op.addr, now)
         if verdict > 0:  # not yet arrived: one wake-up at arrival time
+            stalls = self._stalls
+            if stalls is not None:
+                stalls["admission_wait"] = \
+                    stalls.get("admission_wait", 0) + verdict
             self._step_scheduled = True
             self.sim.schedule(verdict, self._step_bound)
             return
         if verdict < 0:  # shed: skip the request body in O(1)
+            stalls = self._stalls
+            if stalls is not None:
+                stalls["admission_shed"] = stalls.get("admission_shed", 0) + 1
             self.pc += 1 + op.cycles
             if self.pc >= len(self._ops):
                 self._exhausted = True
@@ -360,6 +373,7 @@ class Core(Component):
         # The fence may not pass (or be passed by) same-scope operations
         # in any path; in-flight fills to its scope must land first.
         if self.outstanding_by_scope.get(op.scope, 0) != 0:
+            self._fence_blocked()
             return  # woken by response completions
         msg = Message(
             MessageType.SCOPE_FENCE,
@@ -369,13 +383,17 @@ class Core(Component):
             reply_to=self.entry_point,
         )
         if not self._ep_offer(msg):
+            self._fence_blocked()
             return
+        self._fence_unblocked()
         self._advance()
         self._schedule_step(self.issue_interval)
 
     def _mem_fence(self) -> None:
         if not self._quiesced(include_pim=self.policy.mem_fence_waits_for_pim()):
+            self._fence_blocked()
             return
+        self._fence_unblocked()
         self._advance()
         self._schedule_step(self.issue_interval)
 
@@ -386,9 +404,25 @@ class Core(Component):
             for m in ep._queue
         )
         if pim_queued or ep.pending_pim_acks > 0 or ep.pending_scope_fences > 0:
+            self._fence_blocked()
             return  # woken by subsystem ACKs / entry-point progress
+        self._fence_unblocked()
         self._advance()
         self._schedule_step(self.issue_interval)
+
+    def _fence_blocked(self) -> None:
+        """Stall attribution: a fence could not commit this step."""
+        if self._stalls is not None and self._fence_wait_since is None:
+            self._fence_wait_since = self.sim.now
+
+    def _fence_unblocked(self) -> None:
+        """Flush the blocked-fence wait into the stall bucket."""
+        since = self._fence_wait_since
+        if since is not None:
+            self._fence_wait_since = None
+            stalls = self._stalls
+            stalls["fence_wait"] = \
+                stalls.get("fence_wait", 0) + (self.sim.now - since)
 
     def _quiesced(self, include_pim: bool = True) -> bool:
         if (self.outstanding_loads or self.outstanding_stores
@@ -402,6 +436,13 @@ class Core(Component):
 
     def receive_response(self, resp: Message) -> None:
         mtype = resp.mtype
+        trace = self._trace
+        if trace is not None:
+            # Key the settle record on the *request's* op_id (responses
+            # draw fresh ids), so one request's hops share one span.
+            req = resp.req
+            trace.record(self.sim.now, self.name, mtype.name,
+                         req.op_id if req is not None else resp.op_id)
         if mtype is _MT_LOAD_RESP:
             self.outstanding_loads -= 1
             scope = resp.scope
@@ -416,6 +457,11 @@ class Core(Component):
             expected = resp.req.version if resp.req is not None else 0
             if expected and resp.version < expected:
                 self._stale_reads += 1
+                if trace is not None:
+                    # Invariant fired: snapshot the flight ring (the
+                    # last N events leading up to this stale read).
+                    trace.flight_trigger("stale_read", self.sim.now,
+                                         self.name, resp.req.op_id)
                 if self.stale_cb is not None:
                     # The callback may retain the response (tracing,
                     # assertions); hand it over instead of recycling.

@@ -187,6 +187,10 @@ class EntryPoint(Component):
             if accepted:
                 queue.popleft()
                 self._forwarded += 1
+                trace = self._trace
+                if trace is not None:
+                    trace.record(self.sim.now, self.name, mtype.name,
+                                 msg.op_id)
                 if self._core is not None:
                     self._core.on_entry_point_progress()
                 if queue and not self._serving:
@@ -258,6 +262,10 @@ class EntryPoint(Component):
                     else:
                         self._queue.popleft()
                     forwarded = True
+                    trace = self._trace
+                    if trace is not None:
+                        trace.record(self.sim.now, self.name, mtype.name,
+                                     msg.op_id)
                 break
             # Not forwardable: record the ordering constraints this
             # message imposes on everything younger.

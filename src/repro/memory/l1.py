@@ -101,6 +101,8 @@ class L1Cache(QueuedComponent):
         self._hit_on_wheel = 0 < config.hit_latency < WHEEL_SLOTS
         # Pre-bound callable for the miss/forward hot path.
         self._req_offer = req_net.offer
+        #: Stall-attribution bucket (Tracer-owned dict) when tracing.
+        self._stalls = None
 
     def _flush_stats(self) -> None:
         stats = self.stats
@@ -182,6 +184,9 @@ class L1Cache(QueuedComponent):
                 return True
             return 4
         if mshr_file.full:
+            stalls = self._stalls
+            if stalls is not None:
+                stalls["mshr_full"] = stalls.get("mshr_full", 0) + 4
             return 4  # all MSHRs busy; retry shortly
         fill_req = Message(MessageType.LOAD, line_addr, msg.scope,
                            self.core_id, self, exclusive)

@@ -96,6 +96,8 @@ class LastLevelCache(QueuedComponent):
             self.mshr_file.attach_stats(self.stats)
         self._pending_wbs: deque = deque()
         self._head_scanned = False
+        #: Stall-attribution bucket (Tracer-owned dict) when tracing.
+        self._stalls = None
 
     def _flush_stats(self) -> None:
         stats = self.stats
@@ -176,6 +178,9 @@ class LastLevelCache(QueuedComponent):
                 return True
             return 4
         if mshr_file.full:
+            stalls = self._stalls
+            if stalls is not None:
+                stalls["mshr_full"] = stalls.get("mshr_full", 0) + 4
             return 4
         fetch = Message(MessageType.LOAD, line_addr, msg.scope, msg.core,
                         self)

@@ -96,6 +96,8 @@ class MemoryController(Component):
         self._serve_bound = self._serve
         self._service_done_bound = self._service_done
         self._resp_offer = resp_net.offer
+        #: Stall-attribution bucket (Tracer-owned dict) when tracing.
+        self._stalls = None
 
     def _flush_stats(self) -> None:
         stats = self.stats
@@ -133,6 +135,7 @@ class MemoryController(Component):
 
     def _serve(self) -> None:
         queue = self._queue
+        trace = self._trace
         while queue:
             index = self._pick()
             if index is None:
@@ -142,6 +145,9 @@ class MemoryController(Component):
                 # PIM-memory traffic: hand over to the module (its queues
                 # were checked by _pick, so this cannot fail).
                 queue.pop(index)
+                if trace is not None:
+                    trace.record(self.sim.now, self.name, msg.mtype.name,
+                                 msg.op_id)
                 self.pim_module.offer(msg, self)
                 if msg.mtype is _PIM_OP:
                     self._pim_forwarded += 1
@@ -155,6 +161,11 @@ class MemoryController(Component):
             # service interval.
             queue.pop(index)
             self._served += 1
+            if trace is not None:
+                # Record before service: a terminal writeback is
+                # released back to the pool inside _service_dram.
+                trace.record(self.sim.now, self.name, msg.mtype.name,
+                             msg.op_id)
             batch = self._collect_burst(msg) if self._burst_enabled else None
             if self._waiting_senders:
                 self._wake_senders()
@@ -171,6 +182,9 @@ class MemoryController(Component):
             self._service_dram(msg)
             if batch:
                 for fused in batch:
+                    if trace is not None:
+                        trace.record(self.sim.now, self.name,
+                                     fused.mtype.name, fused.op_id)
                     self._service_dram(fused)
             return
 
@@ -255,14 +269,19 @@ class MemoryController(Component):
         """
         module = self.pim_module
         busy = self._busy
+        stalls = self._stalls
         seen_lines = None  # line addrs of earlier non-scope messages
         seen_scopes = None  # scopes of earlier scope-carrying messages
         for i, msg in enumerate(self._queue):
             scope = msg.scope
             if scope is not None and module is not None:
-                if module.can_accept(msg) and (seen_scopes is None
-                                               or scope not in seen_scopes):
-                    return i
+                if module.can_accept(msg):
+                    if seen_scopes is None or scope not in seen_scopes:
+                        return i
+                elif stalls is not None:
+                    # Held back because the module's queue is full: one
+                    # pim_busy incident per passed-over pick attempt.
+                    stalls["pim_busy"] = stalls.get("pim_busy", 0) + 1
             elif not busy and (seen_lines is None
                                or (msg.addr & ~63) not in seen_lines):
                 return i

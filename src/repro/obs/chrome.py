@@ -1,0 +1,160 @@
+"""Chrome trace-event JSON export of a trace dump.
+
+``repro-bench trace export`` turns the obs payload's event ring into the
+`Chrome trace-event format`_ (the JSON flavor Perfetto and
+``chrome://tracing`` load):
+
+* every **component** becomes a track (one ``tid`` under ``pid`` 0,
+  named by a ``"M"`` metadata event);
+* every **request** becomes a chain of ``"X"`` complete slices, one per
+  component hop, whose duration runs to the request's next hop (the
+  last hop gets a unit slice);
+* hops of one request are stitched with ``"s"``/``"t"``/``"f"`` flow
+  events keyed by ``op_id``, so Perfetto draws arrows following each
+  request through entry point, caches, memory controller and PIM
+  module.
+
+Timestamps are simulated cycles passed through as microseconds -- the
+viewer's time axis reads directly in cycles.
+
+:func:`validate_chrome_trace` is the schema check CI's trace-smoke job
+runs on the exported file; it is deliberately strict about the fields
+this exporter promises.
+
+.. _Chrome trace-event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+#: ``ph`` values this exporter emits (and the validator accepts).
+_PHASES = frozenset({"M", "X", "s", "t", "f"})
+
+
+def chrome_trace(obs: dict) -> dict:
+    """Convert one obs payload (with an event ring) to a Chrome trace.
+
+    Raises :class:`ValueError` if the payload recorded no events
+    (``ring_size=0`` tracing carries stalls only -- nothing to draw).
+    """
+    events = obs.get("events")
+    if not events:
+        raise ValueError(
+            "trace dump has no event records (ring_size was 0 or nothing "
+            "ran); re-run with a positive trace ring")
+
+    components: List[str] = []
+    tids: Dict[str, int] = {}
+    for _, component, _, _ in events:
+        if component not in tids:
+            tids[component] = len(components)
+            components.append(component)
+
+    out: List[dict] = [{
+        "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+        "args": {"name": "repro simulation"},
+    }]
+    for component, tid in tids.items():
+        out.append({"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                    "args": {"name": component}})
+
+    by_op: Dict[int, List[tuple]] = {}
+    for record in events:
+        by_op.setdefault(record[3], []).append(tuple(record))
+
+    for op_id in sorted(by_op):
+        hops = by_op[op_id]
+        for i, (cycle, component, kind, _) in enumerate(hops):
+            if i + 1 < len(hops):
+                dur = max(1, hops[i + 1][0] - cycle)
+            else:
+                dur = 1
+            tid = tids[component]
+            out.append({
+                "ph": "X", "pid": 0, "tid": tid, "ts": cycle, "dur": dur,
+                "name": kind, "cat": "sim",
+                "args": {"op_id": op_id},
+            })
+            if len(hops) > 1:
+                phase = ("s" if i == 0
+                         else "f" if i + 1 == len(hops) else "t")
+                flow = {
+                    "ph": phase, "pid": 0, "tid": tid, "ts": cycle,
+                    "id": op_id, "name": "request", "cat": "req",
+                }
+                if phase == "f":
+                    flow["bp"] = "e"  # bind to the enclosing slice
+                out.append(flow)
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": obs.get("schema", "?"),
+            "components": components,
+            "events_recorded": obs.get("events_recorded", len(events)),
+            "events_dropped": obs.get("events_dropped", 0),
+        },
+    }
+
+
+def validate_chrome_trace(trace: dict) -> Dict[str, int]:
+    """Schema-check one exported trace; returns counters per phase.
+
+    Raises :class:`ValueError` on the first defect.  This is the gate
+    CI's trace-smoke job runs on the uploaded artifact.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace is not a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    counts: Dict[str, int] = {}
+    flow_ids = set()
+    slice_keys = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"traceEvents[{i}]: unknown ph {ph!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{i}]: missing {key!r}")
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{i}]: missing numeric ts")
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)) \
+                    or event["dur"] <= 0:
+                raise ValueError(f"traceEvents[{i}]: X without positive dur")
+            slice_keys.add((event["tid"], event["ts"]))
+        else:  # flow event
+            if "id" not in event:
+                raise ValueError(f"traceEvents[{i}]: flow without id")
+            flow_ids.add(event["id"])
+    if counts.get("X", 0) < 1:
+        raise ValueError("no complete ('X') slices in the trace")
+    # Every flow endpoint must sit on a slice (same tid + ts), or the
+    # viewer silently drops the arrow.
+    for i, event in enumerate(events):
+        if event.get("ph") in ("s", "t", "f") \
+                and (event["tid"], event["ts"]) not in slice_keys:
+            raise ValueError(
+                f"traceEvents[{i}]: flow event not anchored to a slice")
+    return counts
+
+
+def validate_file(path: str) -> Dict[str, int]:
+    """Validate a trace file on disk; prints a one-line summary."""
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    counts = validate_chrome_trace(trace)
+    print(f"ok: {path} -- " + ", ".join(
+        f"{counts.get(ph, 0)} {ph!r}" for ph in ("M", "X", "s", "t", "f")))
+    return counts

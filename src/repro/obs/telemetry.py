@@ -1,0 +1,170 @@
+"""Structured JSONL telemetry from distributed campaign runs.
+
+Workers and coordinators sharing a store append one JSON object per
+line to ``<store>/queue/telemetry.jsonl``.  Lines are small (well under
+``PIPE_BUF``) and written with ``O_APPEND``, so concurrent writers on
+one filesystem interleave whole lines; the tolerant reader skips
+anything torn or foreign.  ``repro-bench queue tail`` renders the file
+as a live view of the fleet.
+
+Event kinds (the ``event`` field):
+
+=============  =====================================================
+``claim``      a worker acquired a shard lease
+``start``      a worker began executing a shard's points
+``point``      one point finished (``status`` ok/failed/cached)
+``heartbeat``  a worker renewed its lease after a point
+``finish``     a shard's done report landed
+``abandon``    a worker lost its lease mid-shard and stopped
+``publish``    a coordinator published a run (shards, points)
+``reap``       a coordinator reaped an expired lease
+``retry``      a shard was re-offered with backoff
+``local``      the coordinator ran a shard itself (graceful
+               degradation)
+=============  =====================================================
+
+Every record carries ``ts`` (epoch seconds), ``who`` (worker or
+coordinator id) and whatever identifies the work (``run``, ``shard``,
+``spec``).  Telemetry is observability, not protocol: the queue's
+correctness never depends on it, and any I/O failure writing a line is
+swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional
+
+#: Telemetry file name under the store's ``queue/`` directory.
+TELEMETRY_FILE = "telemetry.jsonl"
+
+#: Known event kinds (the tail view validates nothing -- this is for
+#: docs and tests).
+EVENT_KINDS = ("claim", "start", "point", "heartbeat", "finish",
+               "abandon", "publish", "reap", "retry", "local")
+
+
+def telemetry_path(store_root: str) -> str:
+    return os.path.join(os.fspath(store_root), "queue", TELEMETRY_FILE)
+
+
+class TelemetryWriter:
+    """Appends telemetry records for one actor (worker or coordinator).
+
+    Opens lazily, appends line-buffered, never raises on I/O failure:
+    a fleet must not die because its telemetry disk filled up.
+    """
+
+    def __init__(self, store_root: str, who: str) -> None:
+        self.path = telemetry_path(store_root)
+        self.who = who
+        self._handle = None
+        self._dead = False
+
+    def emit(self, event: str, **fields) -> None:
+        if self._dead:
+            return
+        record = {"ts": round(time.time(), 3), "event": event,
+                  "who": self.who}
+        record.update(fields)
+        try:
+            if self._handle is None:
+                os.makedirs(os.path.dirname(self.path), exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8",
+                                    buffering=1)
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            self._dead = True
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+def read_telemetry(store_root: str, last: Optional[int] = None) -> List[dict]:
+    """The parsed telemetry records, oldest first (torn lines skipped)."""
+    path = telemetry_path(store_root)
+    records: List[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "event" in record:
+                    records.append(record)
+    except OSError:
+        return []
+    if last is not None and last >= 0:
+        records = records[-last:]
+    return records
+
+
+def format_event(record: Dict[str, object]) -> str:
+    """One telemetry record as a fixed-layout text line."""
+    ts = record.get("ts")
+    clock = (time.strftime("%H:%M:%S", time.localtime(ts))
+             if isinstance(ts, (int, float)) else "??:??:??")
+    event = str(record.get("event", "?"))
+    who = str(record.get("who", "?"))
+    detail = " ".join(
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in ("ts", "event", "who"))
+    return f"{clock}  {event:<9}  {who:<24}  {detail}".rstrip()
+
+
+def follow_telemetry(store_root: str, poll_s: float = 0.5,
+                     stop_after_s: Optional[float] = None,
+                     start_at_end: bool = False) -> Iterator[dict]:
+    """Yield records as they are appended (``queue tail --follow``).
+
+    Polls the file for growth; rotating or truncating the file restarts
+    the reader from the top.  ``stop_after_s`` bounds the follow (tests
+    and sanity; default follows forever).  ``start_at_end`` skips what
+    is already in the file and yields only records appended afterwards
+    (the tail view prints the backlog itself via :func:`read_telemetry`).
+    """
+    path = telemetry_path(store_root)
+    offset = 0
+    if start_at_end:
+        try:
+            offset = os.path.getsize(path)
+        except OSError:
+            offset = 0
+    deadline = (time.time() + stop_after_s
+                if stop_after_s is not None else None)
+    while True:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if size < offset:
+            offset = 0  # truncated/rotated: start over
+        if size > offset:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read(size - offset)
+            # Only consume whole lines; a torn tail waits for its rest.
+            consumed = chunk.rfind(b"\n") + 1
+            offset += consumed
+            for line in chunk[:consumed].splitlines():
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue
+                if isinstance(record, dict) and "event" in record:
+                    yield record
+        if deadline is not None and time.time() >= deadline:
+            return
+        time.sleep(poll_s)

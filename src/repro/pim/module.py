@@ -109,6 +109,8 @@ class PimModule(Component):
         self._scope_done_bound = self._scope_done
         self._advance_scope_bound = self._advance_scope
         self._complete_op_bound = self._complete_op
+        #: Stall-attribution bucket (Tracer-owned dict) when tracing.
+        self._stalls = None
 
     def _flush_stats(self) -> None:
         stats = self.stats
@@ -152,6 +154,9 @@ class PimModule(Component):
             if sender is not None:
                 self._waiting_senders[sender] = None
             return False
+        trace = self._trace
+        if trace is not None:
+            trace.record(self.sim.now, self.name, msg.mtype.name, msg.op_id)
         if msg.mtype is _PIM_OP:
             # Fig. 10a/b statistics: sampled at op arrival, before insertion.
             stat = self._buffer_at_arrival
@@ -207,6 +212,12 @@ class PimModule(Component):
             return
         msg = queue[0]
         if msg.mtype is MessageType.PIM_OP and self._at_concurrency_limit():
+            stalls = self._stalls
+            if stalls is not None:
+                # One contention incident per head op parked at the
+                # max_concurrent_scopes crossbar limit.
+                stalls["crossbar_contention"] = \
+                    stalls.get("crossbar_contention", 0) + 1
             self._throttled.add(scope)
             return
         queue.popleft()
@@ -291,6 +302,9 @@ class PimModule(Component):
 
     def _complete_op(self, msg: Message) -> None:
         self._executed += 1
+        trace = self._trace
+        if trace is not None:
+            trace.record(self.sim.now, self.name, "PIM_OP_DONE", msg.op_id)
         if self.on_execute is not None:
             self.on_execute(msg)
         if self.mc is not None:

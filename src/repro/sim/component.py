@@ -44,11 +44,15 @@ class Component:
     the extras while the base attributes stay slotted.
     """
 
-    __slots__ = ("sim", "name")
+    __slots__ = ("sim", "name", "_trace")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
+        # Observability hook: a Tracer when this run records an event
+        # ring, else None.  The builder attaches it; every hot path
+        # guards on ``is not None`` so tracing off costs one slot read.
+        self._trace = None
 
     def unblock(self) -> None:
         """Called by a downstream component when its queue has space."""
@@ -165,6 +169,7 @@ class QueuedComponent(Component):
 
     def _serve(self) -> None:
         queue = self._queue
+        trace = self._trace
         # Loop inline over ready work: a zero-interval stage (and the
         # first message after an idle gap) is served without bouncing
         # through the scheduler again.
@@ -172,8 +177,16 @@ class QueuedComponent(Component):
             if not queue:
                 self._serving = False
                 return
+            if trace is not None:
+                # Capture before handle(): a consumed message may go
+                # back to the pool inside it.
+                head = queue[0]
+                kind = head.mtype.name
+                op_id = head.op_id
             result = self.handle(queue[0])
             if result is True:
+                if trace is not None:
+                    trace.record(self.sim.now, self.name, kind, op_id)
                 queue.popleft()
                 if self._notify_dequeue:
                     self.on_dequeue()
@@ -303,6 +316,7 @@ class Link(QueuedComponent):
         in_flight = self._in_flight
         sim = self.sim
         now = sim.now
+        trace = self._trace
         if self._dispatch_direct:
             # Response-network fast path: the dispatcher always accepts,
             # so deliver straight to each message's reply_to.
@@ -320,6 +334,10 @@ class Link(QueuedComponent):
                         sim.schedule(arrival - now, self._try_deliver_bound)
                     return
                 in_flight.popleft()
+                if trace is not None:
+                    # Record before handing over: the consumer may
+                    # release the pooled message.
+                    trace.record(now, self.name, msg.mtype.name, msg.op_id)
                 msg.reply_to.receive_response(msg)
                 if self._stalled:
                     QueuedComponent.unblock(self)
@@ -344,6 +362,9 @@ class Link(QueuedComponent):
                 self._delivering = False
                 return
             in_flight.popleft()
+            if trace is not None:
+                msg = head[1]
+                trace.record(now, self.name, msg.mtype.name, msg.op_id)
             # Delivering freed pipe space; resume the service stage if it
             # was blocked on pipe capacity.
             if self._stalled:

@@ -193,6 +193,36 @@ class TrafficConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Opt-in observability knobs (``repro.obs``).
+
+    The default (``enabled=False``) is the zero-cost path: no tracer is
+    built, every hook site guards on a ``None`` attribute, and
+    :func:`config_to_dict` omits the section entirely so default spec
+    hashes (and every pinned campaign digest) are unchanged.  Tracing on
+    or off, simulated results are byte-identical -- observation never
+    perturbs the simulation (gated by ``tests/obs/test_neutrality.py``).
+    """
+
+    #: Build a tracer: event ring (if ``ring_size > 0``), stall
+    #: attribution, kernel dispatch-tier accounting.
+    enabled: bool = False
+    #: Event ring capacity (records kept; oldest dropped when full).
+    #: 0 disables event records -- stall attribution still runs, which
+    #: is what campaign-level tracing uses to keep store entries small.
+    ring_size: int = 65536
+    #: Flight recorder: snapshot the ring the first time an invariant
+    #: fires mid-run (today: a stale read observed by a core).
+    flight: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 0:
+            raise ValueError("ring_size must be >= 0")
+        if self.flight and not self.enabled:
+            raise ValueError("flight recording requires enabled=True")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete system description handed to the builder."""
 
@@ -212,6 +242,7 @@ class SystemConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     pim: PimModuleConfig = field(default_factory=PimModuleConfig)
     traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
     #: Scope size: 2 MB huge pages (Table II).
     scope_bytes: int = 2 << 20
     #: Start of PIM memory in the physical address space.
@@ -270,6 +301,10 @@ class SystemConfig:
         """A copy with traffic fields overridden (open-loop experiments)."""
         return replace(self, traffic=replace(self.traffic, **kwargs))
 
+    def with_trace(self, **kwargs) -> "SystemConfig":
+        """A copy with trace fields overridden (observability runs)."""
+        return replace(self, trace=replace(self.trace, **kwargs))
+
     def __post_init__(self) -> None:
         if self.pim_base % self.scope_bytes:
             raise ValueError("pim_base must be scope-aligned")
@@ -292,6 +327,7 @@ _NESTED_CONFIG = {
     "memory": MemoryConfig,
     "pim": PimModuleConfig,
     "traffic": TrafficConfig,
+    "trace": TraceConfig,
 }
 
 _CONFIG_PRESETS = {
@@ -301,9 +337,18 @@ _CONFIG_PRESETS = {
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, object]:
-    """A JSON-safe dict that :func:`config_from_dict` restores exactly."""
+    """A JSON-safe dict that :func:`config_from_dict` restores exactly.
+
+    A default ``trace`` section is omitted: observability knobs at their
+    defaults must not perturb spec hashes, so every experiment hashed
+    before the trace layer existed keeps its hash (and its store entry).
+    A *non-default* trace section serializes -- a traced experiment spec
+    is deliberately a distinct point.
+    """
     data = asdict(config)
     data["model"] = config.model.value
+    if config.trace == TraceConfig():
+        del data["trace"]
     return data
 
 

@@ -28,6 +28,7 @@ from repro.memory.l1 import L1Cache
 from repro.memory.llc import LastLevelCache
 from repro.memory.memory_controller import MemoryController
 from repro.memory.versioned import VersionedMemory
+from repro.obs.trace import Tracer
 from repro.pim.module import PimModule
 from repro.sim.component import Link, ResponseDispatcher
 from repro.sim.config import SystemConfig
@@ -166,6 +167,33 @@ class System:
         #: derived from compiled microcode lengths; ``None`` falls back to
         #: the config value.  ``zero_logic`` overrides both (Fig. 11b).
         self.pim_op_latency_override: Optional[int] = None
+
+        #: Observability: one Tracer per traced run, else None.  Stall
+        #: buckets attach whenever tracing is enabled (they're cheap);
+        #: event-record hooks only when a ring is configured.  Tracing
+        #: never touches simulation state, so results are byte-identical
+        #: either way.
+        self.tracer: Optional[Tracer] = None
+        if config.trace.enabled:
+            self.tracer = tracer = Tracer(
+                ring_size=config.trace.ring_size,
+                flight=config.trace.flight,
+            )
+            self.sim._trace = tracer
+            self.mc._stalls = tracer.stall_bucket(self.mc.name)
+            self.pim_module._stalls = tracer.stall_bucket(
+                self.pim_module.name)
+            self.llc._stalls = tracer.stall_bucket(self.llc.name)
+            for l1 in self.l1s:
+                l1._stalls = tracer.stall_bucket(l1.name)
+            for core in self.cores:
+                core._stalls = tracer.stall_bucket(core.name)
+            if tracer.recording:
+                for component in (self.mc, self.pim_module, self.llc,
+                                  self.resp_net, self.req_net, mem_link,
+                                  *self.l1s, *self.entry_points,
+                                  *self.cores):
+                    component._trace = tracer
 
     # ------------------------------------------------------------------ #
     # PIM execution effects

@@ -66,6 +66,12 @@ class SimulationResult:
     stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     stale_reads: int = 0
     events: int = 0
+    #: Observability side channel (``Tracer.export()`` payload) -- only
+    #: present when the run traced.  Deliberately *not* part of any
+    #: result digest: campaign digests, perf fingerprints and the
+    #: pinned default digests all hash the simulation outputs above,
+    #: so tracing on or off leaves them byte-identical.
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def model_name(self) -> str:
@@ -153,7 +159,7 @@ class SimulationResult:
         views, which live in ``stats`` under their component names), the
         stale-read count and the event count.
         """
-        return {
+        data: Dict[str, object] = {
             "schema": RESULT_SCHEMA,
             "config": config_to_dict(self.config),
             "run_time": self.run_time,
@@ -161,6 +167,9 @@ class SimulationResult:
             "stale_reads": self.stale_reads,
             "events": self.events,
         }
+        if self.obs is not None:
+            data["obs"] = self.obs
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
@@ -182,6 +191,7 @@ class SimulationResult:
                    for name, group in data["stats"].items()},
             stale_reads=data["stale_reads"],
             events=data["events"],
+            obs=data.get("obs"),
         )
 
 
@@ -227,10 +237,12 @@ def collect_result(system: System, run_time: int) -> SimulationResult:
             dropped.value += source.dropped
             completed.value += source.completed
         stats["traffic"] = merged.as_dict()
+    tracer = getattr(system, "tracer", None)
     return SimulationResult(
         config=system.config,
         run_time=run_time,
         stats=stats,
         stale_reads=system.total_stale_reads,
         events=system.sim.events_executed,
+        obs=tracer.export() if tracer is not None else None,
     )

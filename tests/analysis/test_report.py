@@ -22,3 +22,40 @@ def test_format_series_one_column_per_curve():
 def test_empty_rows():
     out = format_table(["a"], [])
     assert "a" in out
+
+
+def test_stalls_table_per_point_with_taxonomy_column_order():
+    from types import SimpleNamespace
+
+    from repro.analysis.report import stalls_table
+
+    def point(name, obs):
+        return SimpleNamespace(name=name,
+                               result=SimpleNamespace(obs=obs))
+
+    # untraced campaign: no table at all
+    bare = SimpleNamespace(ok_points=[point("a", None)])
+    assert stalls_table(bare) is None
+
+    traced = SimpleNamespace(ok_points=[
+        point("ycsb/naive", {"stalls": {"mc": {"pim_busy": 7},
+                                        "l1-0": {"mshr_full": 2}}}),
+        point("ycsb/atomic", {"stalls": {}}),
+        point("untraced", None),  # mixed campaigns keep working
+    ])
+    headers, rows = stalls_table(traced)
+    # documented taxonomy order, only reasons actually observed
+    assert headers == ["point", "mshr_full", "pim_busy"]
+    assert rows == [["ycsb/naive", 2, 7], ["ycsb/atomic", 0, 0]]
+
+
+def test_stalls_table_unknown_reason_sorts_after_taxonomy():
+    from types import SimpleNamespace
+
+    from repro.analysis.report import stalls_table
+
+    result = SimpleNamespace(ok_points=[SimpleNamespace(
+        name="p", result=SimpleNamespace(
+            obs={"stalls": {"x": {"pim_busy": 1, "novel_reason": 3}}}))])
+    headers, _rows = stalls_table(result)
+    assert headers == ["point", "pim_busy", "novel_reason"]

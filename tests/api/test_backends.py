@@ -67,10 +67,10 @@ def test_pool_timeout_settles_hung_point_as_retryable(monkeypatch):
 
     real = backends.execute_experiment
 
-    def sometimes_hangs(experiment):
+    def sometimes_hangs(experiment, **kwargs):
         if experiment.variant == "hang":
             time.sleep(120)
-        return real(experiment)
+        return real(experiment, **kwargs)
 
     monkeypatch.setattr(backends, "execute_experiment", sometimes_hangs)
     fast, hung = _experiments()[:2]

@@ -60,17 +60,17 @@ class _CountingBackend(SerialBackend):
         self.executed: List[str] = []
         self.batches: List[List[str]] = []
 
-    def run_all(self, experiments: Sequence[Experiment]):
+    def run_all(self, experiments: Sequence[Experiment], **kwargs):
         hashes = [e.spec_hash() for e in experiments]
         self.executed.extend(hashes)
         self.batches.append(hashes)
-        return super().run_all(experiments)
+        return super().run_all(experiments, **kwargs)
 
-    def run_all_settled(self, experiments: Sequence[Experiment]):
+    def run_all_settled(self, experiments: Sequence[Experiment], **kwargs):
         hashes = [e.spec_hash() for e in experiments]
         self.executed.extend(hashes)
         self.batches.append(hashes)
-        return super().run_all_settled(experiments)
+        return super().run_all_settled(experiments, **kwargs)
 
 
 def test_cache_serves_repeated_specs_without_resimulating():
@@ -155,3 +155,36 @@ def test_clear_cache():
     runner.clear_cache()
     assert runner.cache_size == 0
     assert runner.cached(exp) is None
+
+
+def test_run_settled_progress_counts_duplicates_and_cache_hits():
+    runner = Runner(backend=SerialBackend())
+    a = _experiment(ConsistencyModel.ATOMIC)
+    b = _experiment(ConsistencyModel.SCOPE)
+
+    # a appears twice: its single dispatch must advance two points
+    ticks: List[int] = []
+    runner.run_settled([a, b, a], progress=ticks.append)
+    assert sum(ticks) == 3
+
+    # fully cached re-run: one upfront tick covering every point
+    ticks = []
+    runner.run_settled([a, b, a], progress=ticks.append)
+    assert ticks == [3]
+
+
+def test_run_settled_trace_overlay_does_not_fork_the_cache():
+    from repro.sim.config import TraceConfig
+
+    runner = Runner(backend=SerialBackend())
+    exp = _experiment(ConsistencyModel.ATOMIC)
+    trace = TraceConfig(enabled=True, ring_size=0)
+    (traced, err), = runner.run_settled([exp], trace=trace)
+    assert err is None and traced.obs is not None
+    assert runner.dispatch_count == 1
+
+    # same spec hash: the traced result serves the untraced request
+    (cached, err), = runner.run_settled([exp])
+    assert err is None
+    assert runner.dispatch_count == 1  # no second simulation
+    assert cached is traced

@@ -286,7 +286,7 @@ def test_retries_exhausted_settles_points_as_lost(tmp_path):
 
     class _LyingBackend(SerialBackend):
         """Reports success without the write-through ever landing."""
-        def run_all_settled(self, experiments, store=None):
+        def run_all_settled(self, experiments, store=None, **kwargs):
             from repro.api.backends import execute_experiment_settled
             return [execute_experiment_settled(e) for e in experiments]
 
@@ -330,8 +330,10 @@ def test_no_workers_degrades_to_local_with_identical_digest(tmp_path):
     assert backend.last_stats["local_shards"] == 2
     assert backend.last_stats["worker_shards"] == 0
     assert backend.last_stats["lost_points"] == 0
-    # the queue cleans up after itself
-    assert os.listdir(os.path.join(str(tmp_path), "queue")) == []
+    # the queue cleans up its task/lease files; only the append-only
+    # telemetry history (observability, not protocol state) remains
+    assert (os.listdir(os.path.join(str(tmp_path), "queue"))
+            == ["telemetry.jsonl"])
 
 
 def test_corrupt_write_is_quarantined_and_reexecuted(tmp_path):
@@ -504,3 +506,75 @@ def test_workqueue_backend_rejects_a_foreign_store(tmp_path):
     with pytest.raises(ValueError, match="share one store"):
         backend.run_all_settled([], store=ResultStore(str(tmp_path / "b")))
     assert backend.run_all_settled([]) == []
+
+
+# --------------------------------------------------------------------- #
+# observability: trace propagation and fleet telemetry
+# --------------------------------------------------------------------- #
+
+def test_trace_overlay_propagates_through_task_files(tmp_path):
+    """A traced distributed campaign ships the TraceConfig inside the
+    task files (tasks stay self-describing), the worker applies it at
+    execution, and the store entry carries the obs payload -- under the
+    exact spec hash an untraced run would use."""
+    from repro.sim.config import TraceConfig
+
+    store = ResultStore(str(tmp_path))
+    exps = [_litmus(m) for m in ("naive", "atomic")]
+    trace = TraceConfig(enabled=True, ring_size=0)
+    run_dir, shards = _publish_run(store, exps, shard_size=2,
+                                   lease_s=30.0, trace=trace)
+    task = read_json(_shard_paths(run_dir, shards[0])[0])
+    assert task["trace"] == {"enabled": True, "ring_size": 0,
+                             "flight": False}
+
+    worker = QueueWorker(store, worker_id="w", chaos=ChaosPlan())
+    assert worker.run(once=True) == 1
+    for e in exps:
+        result = store.get(e.spec_hash())  # untraced key
+        assert result.obs is not None
+        assert result.obs["kernel"]["cycles"] > 0
+
+
+def test_untraced_task_files_carry_no_trace_key(tmp_path):
+    store = ResultStore(str(tmp_path))
+    run_dir, shards = _publish_run(store, [_litmus("atomic")],
+                                   shard_size=2, lease_s=30.0)
+    task = read_json(_shard_paths(run_dir, shards[0])[0])
+    assert "trace" not in task
+
+
+def test_worker_emits_the_telemetry_lifecycle(tmp_path):
+    from repro.obs.telemetry import read_telemetry
+
+    store = ResultStore(str(tmp_path))
+    exps = [_litmus(m) for m in ("naive", "atomic")]
+    _publish_run(store, exps, shard_size=2, lease_s=30.0)
+    worker = QueueWorker(store, worker_id="w-tel", chaos=ChaosPlan())
+    assert worker.run(once=True) == 1
+
+    records = [r for r in read_telemetry(str(tmp_path))
+               if r["who"] == "w-tel"]
+    kinds = [r["event"] for r in records]
+    assert kinds == ["claim", "start", "point", "heartbeat", "point",
+                     "heartbeat", "finish"]
+    points = [r for r in records if r["event"] == "point"]
+    assert all(p["status"] == "ok" for p in points)
+    assert all(len(p["spec"]) == 12 for p in points)
+
+
+def test_coordinator_emits_publish_and_local_telemetry(tmp_path):
+    from repro.obs.telemetry import read_telemetry
+
+    store = ResultStore(str(tmp_path))
+    coordinator = _fast_coordinator(store)
+    exps = [_litmus(m) for m in ("naive", "atomic", "scope")]
+    ticks = []
+    settled = coordinator.run(exps, progress=ticks.append)
+    assert _ok(settled)
+    assert sum(ticks) == len(exps)  # every point reported exactly once
+
+    kinds = [r["event"] for r in read_telemetry(str(tmp_path))
+             if r["who"] == "coordinator"]
+    assert kinds[0] == "publish"
+    assert kinds.count("local") == 2  # both shards ran locally

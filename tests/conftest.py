@@ -1,8 +1,28 @@
 """Pytest configuration: make tests/helpers.py importable everywhere."""
 
+import logging
 import os
 import sys
+
+import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
 from helpers import scope_map, sim  # re-export fixtures  # noqa: E402,F401
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_logger():
+    """Undo ``repro.obs.logconf`` side effects between tests.
+
+    Any test that drives the CLI front door configures the ``repro``
+    logger (handler, level, ``propagate=False``); left in place, that
+    silences ``caplog`` -- which captures via the root logger -- for
+    every test that runs later.
+    """
+    logger = logging.getLogger("repro")
+    saved = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.setLevel(saved[0])
+    logger.handlers[:] = saved[1]
+    logger.propagate = saved[2]

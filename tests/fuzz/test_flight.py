@@ -1,0 +1,66 @@
+"""Flight-recorder dumps: deterministic capture, corpus persistence.
+
+The contract under test: a flight dump is self-describing -- replaying
+the program it embeds reproduces the byte-identical snapshot -- and the
+snapshot's ring actually holds the events leading up to the firing
+invariant (a stale read observed by a core).
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import FLIGHT_SCHEMA, FuzzCorpus
+from repro.fuzz.generate import GeneratorKnobs, generate_batch
+from repro.fuzz.harness import flight_dump
+from repro.fuzz.program import FuzzProgram
+
+
+@pytest.fixture(scope="module")
+def staleful_program():
+    """A generated program with stale reads under the naive model."""
+    for program in generate_batch(0, 16, GeneratorKnobs()):
+        dump = flight_dump(program, "naive", seed=0)
+        if dump["flight_triggers"]:
+            return program
+    pytest.skip("no naive stale reads in the probe batch")
+
+
+def test_dump_is_self_describing_and_snapshots_the_ring(staleful_program):
+    dump = flight_dump(staleful_program, "naive", seed=0)
+    assert dump["schema"] == FLIGHT_SCHEMA
+    assert dump["digest"] == staleful_program.digest()
+    assert dump["model"] == "naive"
+    assert dump["stale_reads"] > 0
+    flight = dump["flight"]
+    assert flight["trigger"] == "stale_read"
+    assert flight["events"], "snapshot must carry the preceding events"
+    # the snapshot stops at the trigger: nothing recorded after it
+    assert all(record[0] <= flight["cycle"] for record in flight["events"])
+
+
+def test_dump_replays_byte_identical(staleful_program):
+    first = flight_dump(staleful_program, "naive", seed=0)
+    # replay purely from the dump, as a bug triage would
+    replayed_program = FuzzProgram.from_dict(first["program"])
+    second = flight_dump(replayed_program, first["model"],
+                         rounds=first["rounds"], ring=first["ring"],
+                         seed=first["seed"])
+    assert (json.dumps(first, sort_keys=True)
+            == json.dumps(second, sort_keys=True))
+
+
+def test_clean_model_produces_no_snapshot(staleful_program):
+    dump = flight_dump(staleful_program, "atomic", seed=0)
+    assert dump["stale_reads"] == 0
+    assert dump["flight_triggers"] == 0
+    assert dump["flight"] is None
+
+
+def test_corpus_flight_round_trip(tmp_path, staleful_program):
+    corpus = FuzzCorpus(str(tmp_path))
+    dump = flight_dump(staleful_program, "naive", seed=0)
+    path = corpus.write_flight(dump)
+    assert path.endswith(f"{dump['digest']}-naive.json")
+    (loaded,) = corpus.flights()
+    assert loaded == json.loads(json.dumps(dump))  # JSON round trip

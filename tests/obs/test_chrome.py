@@ -1,0 +1,74 @@
+"""Chrome trace-event export and its CI schema validator."""
+
+import pytest
+
+from repro.obs.chrome import chrome_trace, validate_chrome_trace
+
+
+def _obs(events):
+    return {"schema": "repro-obs/1", "events": events,
+            "events_recorded": len(events), "events_dropped": 0}
+
+
+def test_export_validates_and_builds_tracks_and_flows():
+    obs = _obs([
+        [10, "entry0", "READ", 1],
+        [12, "l1-0", "GETS", 1],
+        [20, "mc", "FILL", 1],
+        [11, "entry1", "WRITE", 2],  # single-hop request: no flow
+    ])
+    trace = chrome_trace(obs)
+    counts = validate_chrome_trace(trace)
+    # one process_name + three thread_name... (entry0, l1-0, mc, entry1)
+    assert counts["M"] == 5
+    assert counts["X"] == 4
+    # op 1 has 3 hops: one 's', one 't', one 'f'; op 2 has none
+    assert counts["s"] == 1 and counts["t"] == 1 and counts["f"] == 1
+    names = {e["args"]["name"] for e in trace["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert names == {"entry0", "l1-0", "mc", "entry1"}
+    # slice durations run hop-to-hop; the last hop is a unit slice
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"
+              and e["args"]["op_id"] == 1]
+    assert [s["dur"] for s in slices] == [2, 8, 1]
+
+
+def test_export_rejects_an_eventless_payload():
+    with pytest.raises(ValueError, match="no event records"):
+        chrome_trace({"schema": "repro-obs/1", "stalls": {}})
+    with pytest.raises(ValueError, match="no event records"):
+        chrome_trace(_obs([]))
+
+
+def test_validator_rejects_malformed_traces():
+    good = chrome_trace(_obs([[1, "a", "K", 1], [2, "b", "K", 1]]))
+    validate_chrome_trace(good)
+
+    with pytest.raises(ValueError, match="not a JSON object"):
+        validate_chrome_trace([])
+    with pytest.raises(ValueError, match="traceEvents missing"):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError, match="unknown ph"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "B", "pid": 0, "tid": 0, "name": "x", "ts": 1}]})
+    with pytest.raises(ValueError, match="positive dur"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 1,
+             "dur": 0}]})
+    # a flow event floating off any slice is the defect Perfetto
+    # silently drops -- the validator must catch it loudly
+    with pytest.raises(ValueError, match="not anchored"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 1,
+             "dur": 1},
+            {"ph": "s", "pid": 0, "tid": 0, "name": "r", "ts": 99,
+             "id": 1}]})
+
+
+def test_export_is_deterministic():
+    import json
+
+    events = [[c, f"comp{c % 3}", "K", c % 5] for c in range(50)]
+    a = json.dumps(chrome_trace(_obs(events)), sort_keys=True)
+    b = json.dumps(chrome_trace(_obs(events)), sort_keys=True)
+    assert a == b

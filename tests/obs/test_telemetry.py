@@ -1,0 +1,122 @@
+"""Telemetry JSONL: writer durability, tolerant reads, live follow."""
+
+import json
+import os
+
+from repro.obs.telemetry import (
+    TelemetryWriter,
+    follow_telemetry,
+    format_event,
+    read_telemetry,
+    telemetry_path,
+)
+
+
+def test_writer_reader_round_trip(tmp_path):
+    root = str(tmp_path)
+    writer = TelemetryWriter(root, "w-1")
+    writer.emit("claim", shard="0000", points=4)
+    writer.emit("point", spec="abc123", status="ok")
+    writer.close()
+    records = read_telemetry(root)
+    assert [r["event"] for r in records] == ["claim", "point"]
+    assert records[0]["who"] == "w-1"
+    assert records[0]["shard"] == "0000"
+    assert isinstance(records[0]["ts"], float)
+
+
+def test_reader_skips_torn_and_foreign_lines(tmp_path):
+    root = str(tmp_path)
+    TelemetryWriter(root, "w").emit("finish", shard="0001")
+    with open(telemetry_path(root), "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps(["a", "list"]) + "\n")
+        handle.write('{"torn": ')  # unterminated tail
+    records = read_telemetry(root)
+    assert [r["event"] for r in records] == ["finish"]
+
+
+def test_read_last_n(tmp_path):
+    root = str(tmp_path)
+    writer = TelemetryWriter(root, "w")
+    for i in range(10):
+        writer.emit("heartbeat", n=i)
+    assert [r["n"] for r in read_telemetry(root, last=3)] == [7, 8, 9]
+    assert read_telemetry(str(tmp_path / "nowhere")) == []
+
+
+def test_writer_survives_unwritable_path(tmp_path):
+    # telemetry is observability, not protocol: a dead disk must not
+    # raise into the worker loop
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file where the store dir should be")
+    writer = TelemetryWriter(str(blocked), "w")
+    writer.emit("claim", shard="0000")  # must not raise
+    assert writer._dead
+
+
+def test_format_event_layout():
+    line = format_event({"ts": 0.0, "event": "claim", "who": "w-1",
+                         "shard": "0000", "points": 4})
+    assert "claim" in line and "w-1" in line
+    assert "points=4" in line and "shard=0000" in line
+    assert format_event({}).endswith("?")
+
+
+def test_follow_yields_whole_lines_only(tmp_path):
+    root = str(tmp_path)
+    writer = TelemetryWriter(root, "w")
+    writer.emit("claim", shard="0000")
+    with open(telemetry_path(root), "a", encoding="utf-8") as handle:
+        handle.write('{"event": "torn", "who": "w"')  # no newline yet
+    records = list(follow_telemetry(root, poll_s=0.01, stop_after_s=0.05))
+    assert [r["event"] for r in records] == ["claim"]
+
+
+def test_follow_start_at_end_skips_the_backlog(tmp_path):
+    import threading
+    import time
+
+    root = str(tmp_path)
+    writer = TelemetryWriter(root, "w")
+    writer.emit("claim", shard="0000")  # backlog: must NOT be yielded
+
+    events = []
+    started = threading.Event()
+
+    def consume():
+        started.set()
+        for record in follow_telemetry(root, poll_s=0.01,
+                                       stop_after_s=0.5,
+                                       start_at_end=True):
+            events.append(record["event"])
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    started.wait()
+    time.sleep(0.1)  # let the follower snapshot its end-of-file offset
+    writer.emit("finish", shard="0000")
+    thread.join()
+    assert events == ["finish"]
+
+
+def test_follow_restarts_after_truncation(tmp_path):
+    root = str(tmp_path)
+    writer = TelemetryWriter(root, "w")
+    writer.emit("claim", shard="0000")
+    writer.emit("start", shard="0000")
+    writer.close()
+
+    seen = []
+    follower = follow_telemetry(root, poll_s=0.01, stop_after_s=0.3)
+    for record in follower:
+        seen.append(record["event"])
+        if seen == ["claim", "start"]:
+            # rotate: truncate and write something new
+            os.truncate(telemetry_path(root), 0)
+            fresh = TelemetryWriter(root, "w2")
+            fresh.emit("publish", run="r2")
+            fresh.close()
+        if "publish" in seen:
+            break
+    assert seen == ["claim", "start", "publish"]
